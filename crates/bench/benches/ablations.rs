@@ -1,0 +1,172 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **hard vs soft partitioning** — the paper's partitioning is a
+//!   one-shot migration; pinning until the next period is the obvious
+//!   alternative;
+//! * **victim choice** — Algorithm 2 steals the *smallest*-pressure VCPU;
+//!   the inverse (largest) is the natural straw man;
+//! * **α sensitivity** — Eq. 2's scale constant moves the classification
+//!   bounds with it, so misconfigured α must degrade gracefully;
+//! * **dynamic bounds** (§VI future work) vs the static 3/20.
+//!
+//! Each target prints the comparison it measured so `cargo bench` output
+//! documents the ablation, then times the winning configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::runner::{build_machine, RunOptions, Scheduler, SetupKind};
+use numa_topo::{PcpuId, VcpuId};
+use sim_core::SimDuration;
+use vprobe::{variants, Bounds, VProbePolicy};
+use vprobe_bench::{bench_opts, print_once};
+use workloads::speccpu;
+use xen_sim::{AnalyzerView, PartitionPlan, SchedPolicy, StealContext};
+
+/// vProbe with a hard (pin-until-next-period) partitioning plan.
+struct HardPinVProbe(VProbePolicy);
+
+impl SchedPolicy for HardPinVProbe {
+    fn name(&self) -> &str {
+        "vprobe-hardpin"
+    }
+    fn on_sample(&mut self, view: AnalyzerView<'_>) -> PartitionPlan {
+        let mut plan = self.0.on_sample(view);
+        plan.hard = true;
+        plan
+    }
+    fn steal(&mut self, ctx: StealContext<'_>) -> Option<(PcpuId, VcpuId)> {
+        self.0.steal(ctx)
+    }
+}
+
+/// Measure VM1's instruction rate for an arbitrary policy on the mix
+/// workload (warm start under Credit, like the experiments runner).
+fn rate_with(policy: Box<dyn SchedPolicy>, opts: &RunOptions) -> f64 {
+    let mut machine = build_machine(
+        Scheduler::Credit,
+        SetupKind::PaperEval,
+        speccpu::mix(),
+        speccpu::mix(),
+        opts,
+    )
+    .unwrap();
+    machine.run(opts.warmup);
+    machine.set_policy(policy);
+    machine.reset_metrics();
+    machine.run(opts.duration);
+    let m = machine.metrics();
+    m.per_vm[0].instr_per_second(m.elapsed)
+}
+
+fn hard_vs_soft(c: &mut Criterion) {
+    let opts = bench_opts();
+    let soft = rate_with(Box::new(variants::vprobe(2, Bounds::default())), &opts);
+    let hard = rate_with(
+        Box::new(HardPinVProbe(variants::vprobe(2, Bounds::default()))),
+        &opts,
+    );
+    print_once(
+        "Ablation: partitioning persistence",
+        &format!("soft (paper): {soft:.3e} instr/s\nhard pin    : {hard:.3e} instr/s"),
+    );
+    c.bench_function("ablation/soft_partitioning", |b| {
+        b.iter(|| rate_with(Box::new(variants::vprobe(2, Bounds::default())), &opts))
+    });
+}
+
+fn alpha_sensitivity(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut lines = String::new();
+    for (label, bounds) in [
+        ("alpha x0.5 (bounds 1.5/10)", Bounds::new(1.5, 10.0)),
+        ("paper (3/20)", Bounds::default()),
+        ("alpha x2 (bounds 6/40)", Bounds::new(6.0, 40.0)),
+    ] {
+        let rate = rate_with(Box::new(variants::vprobe(2, bounds)), &opts);
+        lines.push_str(&format!("{label:28} {rate:.3e} instr/s\n"));
+    }
+    print_once("Ablation: bound/alpha sensitivity", &lines);
+    c.bench_function("ablation/paper_bounds", |b| {
+        b.iter(|| rate_with(Box::new(variants::vprobe(2, Bounds::default())), &opts))
+    });
+}
+
+fn dynamic_bounds(c: &mut Criterion) {
+    let opts = bench_opts();
+    let static_rate = rate_with(Box::new(variants::vprobe(2, Bounds::default())), &opts);
+    let dyn_rate = rate_with(
+        Box::new(VProbePolicy::new(2, Bounds::default()).with_dynamic_bounds()),
+        &opts,
+    );
+    print_once(
+        "Ablation: static vs dynamic bounds (§VI)",
+        &format!("static 3/20 : {static_rate:.3e} instr/s\ndynamic     : {dyn_rate:.3e} instr/s"),
+    );
+    c.bench_function("ablation/dynamic_bounds", |b| {
+        b.iter(|| {
+            rate_with(
+                Box::new(VProbePolicy::new(2, Bounds::default()).with_dynamic_bounds()),
+                &opts,
+            )
+        })
+    });
+}
+
+fn page_migration(c: &mut Criterion) {
+    let opts = bench_opts();
+    let rows = experiments::extensions::run_page_migration(&opts).expect("pagemig");
+    let body: String = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{:10} {:.3e} instr/s  remote {:4.1}%  moved {:.0} MB\n",
+                r.policy,
+                r.instr_rate,
+                r.remote_ratio * 100.0,
+                r.migrated_mb
+            )
+        })
+        .collect();
+    print_once("Ablation: §VI page migration", &body);
+    c.bench_function("ablation/page_migration", |b| {
+        b.iter(|| experiments::extensions::run_page_migration(&opts).unwrap().len())
+    });
+}
+
+fn sampling_cost(c: &mut Criterion) {
+    // How much wall time does one simulated second cost, per scheduler?
+    let mut opts = bench_opts();
+    opts.duration = SimDuration::from_secs(2);
+    opts.warmup = SimDuration::ZERO;
+    let mut group = c.benchmark_group("ablation/sim_cost_per_policy");
+    for sched in [Scheduler::Credit, Scheduler::VProbe, Scheduler::Brm] {
+        group.bench_function(sched.name(), |b| {
+            b.iter(|| {
+                let mut machine = build_machine(
+                    sched,
+                    SetupKind::PaperEval,
+                    speccpu::mix(),
+                    speccpu::mix(),
+                    &opts,
+                )
+                .unwrap();
+                machine.run(opts.duration);
+                machine.metrics().per_vm[0].instructions
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10))
+        .warm_up_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = ablations;
+    config = config();
+    targets = hard_vs_soft, alpha_sensitivity, dynamic_bounds, page_migration, sampling_cost
+}
+criterion_main!(ablations);

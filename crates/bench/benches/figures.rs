@@ -1,0 +1,142 @@
+//! One benchmark group per paper artifact. Each group first regenerates
+//! the artifact's rows (printed into the bench log, so `cargo bench`
+//! doubles as the reproduction run) and then times a representative slice
+//! of the experiment as the measured kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::runner::{run_workload, Scheduler, SetupKind};
+use experiments::{
+    fig1_remote_ratio, fig3_bounds, fig4_spec, fig5_npb, fig6_memcached, fig7_redis, fig8_period,
+    table3_overhead,
+};
+use vprobe_bench::{bench_opts, print_once};
+use workloads::{npb, speccpu};
+
+fn fig1(c: &mut Criterion) {
+    let opts = bench_opts();
+    let rows = fig1_remote_ratio::run(&opts).expect("fig1");
+    print_once("Fig. 1", &fig1_remote_ratio::render(&rows).to_text());
+    c.bench_function("fig1/credit_remote_ratio_librq", |b| {
+        b.iter(|| {
+            run_workload(
+                Scheduler::Credit,
+                SetupKind::Motivation,
+                vec![speccpu::libquantum(); 4],
+                vec![speccpu::libquantum(); 4],
+                &opts,
+            )
+            .unwrap()
+            .remote_ratio
+        })
+    });
+}
+
+fn fig3(c: &mut Criterion) {
+    let opts = bench_opts();
+    let rows = fig3_bounds::run(&opts).expect("fig3");
+    assert!(fig3_bounds::bounds_consistent(&rows, vprobe::Bounds::default()));
+    print_once("Fig. 3", &fig3_bounds::render(&rows).to_text());
+    let lu = npb::lu();
+    c.bench_function("fig3/solo_pinned_lu", |b| {
+        b.iter(|| fig3_bounds::run_one(&lu, &opts).unwrap().rpti)
+    });
+}
+
+fn fig4(c: &mut Criterion) {
+    let opts = bench_opts();
+    let results = fig4_spec::run(&opts).expect("fig4");
+    print_once("Fig. 4", &fig4_spec::render(&results, "Fig. 4").to_text());
+    c.bench_function("fig4/vprobe_on_soplex", |b| {
+        b.iter(|| {
+            run_workload(
+                Scheduler::VProbe,
+                SetupKind::PaperEval,
+                vec![speccpu::soplex(); 4],
+                vec![speccpu::soplex(); 4],
+                &opts,
+            )
+            .unwrap()
+            .instr_rate
+        })
+    });
+}
+
+fn fig5(c: &mut Criterion) {
+    let opts = bench_opts();
+    let results = fig5_npb::run(&opts).expect("fig5");
+    print_once("Fig. 5", &fig5_npb::render(&results).to_text());
+    c.bench_function("fig5/vprobe_on_sp", |b| {
+        b.iter(|| {
+            run_workload(
+                Scheduler::VProbe,
+                SetupKind::PaperEval,
+                vec![npb::sp()],
+                vec![npb::sp()],
+                &opts,
+            )
+            .unwrap()
+            .instr_rate
+        })
+    });
+}
+
+fn fig6(c: &mut Criterion) {
+    let opts = bench_opts();
+    let pts = fig6_memcached::run_levels(&[16, 48, 80, 112], &opts).expect("fig6");
+    print_once("Fig. 6 (subset)", &fig6_memcached::render(&pts).to_text());
+    c.bench_function("fig6/memcached_c80_sweep", |b| {
+        b.iter(|| fig6_memcached::run_levels(&[80], &opts).unwrap().len())
+    });
+}
+
+fn fig7(c: &mut Criterion) {
+    let opts = bench_opts();
+    let pts = fig7_redis::run_levels(&[2_000, 6_000, 10_000], &opts).expect("fig7");
+    print_once("Fig. 7 (subset)", &fig7_redis::render(&pts).to_text());
+    c.bench_function("fig7/redis_k2000_sweep", |b| {
+        b.iter(|| fig7_redis::run_levels(&[2_000], &opts).unwrap().len())
+    });
+}
+
+fn table3(c: &mut Criterion) {
+    let opts = bench_opts();
+    let rows = table3_overhead::run(&opts).expect("table3");
+    assert!(table3_overhead::shape_holds(&rows), "{rows:?}");
+    print_once("Table III", &table3_overhead::render(&rows).to_text());
+    c.bench_function("table3/overhead_4vms", |b| {
+        b.iter(|| table3_overhead::run_one(4, &opts).unwrap().overhead_percent)
+    });
+}
+
+fn fig8(c: &mut Criterion) {
+    let opts = bench_opts();
+    let pts = fig8_period::run_periods(&[0.1, 0.5, 1.0, 2.0, 10.0], &opts).expect("fig8");
+    print_once("Fig. 8 (subset)", &fig8_period::render(&pts).to_text());
+    c.bench_function("fig8/mix_at_1s_period", |b| {
+        b.iter(|| {
+            run_workload(
+                Scheduler::VProbe,
+                SetupKind::PaperEval,
+                speccpu::mix(),
+                speccpu::mix(),
+                &opts,
+            )
+            .unwrap()
+            .instr_rate
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(12))
+        .warm_up_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = fig1, fig3, fig4, fig5, fig6, fig7, table3, fig8
+}
+criterion_main!(figures);

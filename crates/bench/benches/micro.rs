@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the hot kernels: the analyzer, Algorithm 1,
+//! Algorithm 2's selection, and the memory engine's quantum resolution.
+//! These are the operations a production hypervisor would run on the
+//! scheduler fast path, so their absolute cost matters independently of
+//! simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mem_model::{AccessProfile, MemoryEngine, MissCurve, QuantumUsage};
+use numa_topo::{presets, NodeId, PcpuId, VcpuId};
+use pmu::PmuSample;
+use sim_core::SimDuration;
+use vprobe::{
+    numa_aware_steal, partition_vcpus, Bounds, PartitionInput, PmuDataAnalyzer, VcpuType,
+};
+use xen_sim::StealContext;
+
+fn analyzer_bench(c: &mut Criterion) {
+    let analyzer = PmuDataAnalyzer::new(Bounds::default());
+    let samples: Vec<PmuSample> = (0..64)
+        .map(|i| PmuSample {
+            instructions: 1_000_000 + i,
+            llc_refs: 20_000,
+            llc_misses: 9_000,
+            local_accesses: 5_000,
+            remote_accesses: 4_000,
+            node_accesses: vec![5_000, 4_000],
+        })
+        .collect();
+    c.bench_function("micro/analyze_64_vcpus", |b| {
+        b.iter(|| analyzer.analyze(black_box(&samples)))
+    });
+}
+
+fn partition_bench(c: &mut Criterion) {
+    let inputs: Vec<PartitionInput> = (0..64)
+        .map(|i| PartitionInput {
+            vcpu: VcpuId::new(i),
+            vcpu_type: if i % 3 == 0 {
+                VcpuType::Thrashing
+            } else {
+                VcpuType::Fitting
+            },
+            affinity: Some(NodeId::new((i % 4) as u16)),
+        })
+        .collect();
+    c.bench_function("micro/algorithm1_64_vcpus_4_nodes", |b| {
+        b.iter(|| partition_vcpus(black_box(&inputs), 4))
+    });
+}
+
+fn steal_bench(c: &mut Criterion) {
+    let topo = presets::xeon_e5620();
+    let victims: Vec<(PcpuId, usize, Vec<VcpuId>)> = (1..8)
+        .map(|p| {
+            let cands: Vec<VcpuId> = (0..4).map(|i| VcpuId::new(p as u32 * 8 + i)).collect();
+            (PcpuId::new(p), 4, cands)
+        })
+        .collect();
+    let pressure: Vec<f64> = (0..64).map(|i| (i % 23) as f64).collect();
+    c.bench_function("micro/algorithm2_selection", |b| {
+        b.iter(|| {
+            numa_aware_steal(black_box(&StealContext {
+                topo: &topo,
+                idle_pcpu: PcpuId::new(0),
+                victims: &victims,
+                pressure: &pressure,
+                would_idle: true,
+            }))
+        })
+    });
+}
+
+fn engine_bench(c: &mut Criterion) {
+    let topo = presets::xeon_e5620();
+    let mut engine = MemoryEngine::new(&topo);
+    let usages: Vec<QuantumUsage> = (0..8)
+        .map(|i| QuantumUsage {
+            key: i,
+            node: NodeId::new((i % 2) as u16),
+            runtime_share: 1.0,
+            profile: AccessProfile {
+                rpti: 20.0,
+                base_cpi: 1.0,
+                miss_curve: MissCurve::new(0.1, 0.8, 16 * 1024 * 1024),
+                mlp: 3.0,
+                node_access_dist: vec![0.6, 0.4],
+            },
+            cold_miss_boost: 1.0,
+            overhead_us: 0.0,
+        })
+        .collect();
+    c.bench_function("micro/engine_quantum_8_pcpus", |b| {
+        b.iter(|| engine.step(SimDuration::from_millis(1), black_box(&usages)))
+    });
+}
+
+criterion_group!(micro, analyzer_bench, partition_bench, steal_bench, engine_bench);
+criterion_main!(micro);

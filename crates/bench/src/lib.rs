@@ -1,0 +1,22 @@
+//! Shared helpers for the benchmark targets.
+
+use experiments::runner::RunOptions;
+use sim_core::SimDuration;
+
+/// Window sizes used inside Criterion iterations: long enough to cross
+/// several sampling periods (so every scheduler mechanism fires), short
+/// enough that a benchmark run stays interactive.
+pub fn bench_opts() -> RunOptions {
+    RunOptions {
+        duration: SimDuration::from_secs(6),
+        warmup: SimDuration::from_secs(3),
+        ..RunOptions::default()
+    }
+}
+
+/// Print a regenerated artifact once per bench target so `cargo bench`
+/// output contains the paper's rows next to the timing numbers.
+pub fn print_once(title: &str, body: &str) {
+    println!("\n================ {title} ================");
+    println!("{body}");
+}

@@ -1,0 +1,249 @@
+//! The PMU data analyzer (paper §III-B).
+//!
+//! At the end of every sampling period the analyzer turns each VCPU's raw
+//! counter window into the three quantities the scheduler acts on:
+//!
+//! * **memory node affinity** (Eq. 1): `argmax_i N(vc, i)` — the node
+//!   holding the most pages the VCPU accessed this period;
+//! * **LLC access pressure** (Eq. 2): `LLC_refs / instructions · α`;
+//! * **VCPU type** (Eq. 3): friendly / fitting / thrashing by the
+//!   `low`/`high` bounds.
+
+use crate::bounds::Bounds;
+use numa_topo::NodeId;
+use pmu::PmuSample;
+use serde::{Deserialize, Serialize};
+
+/// The paper's VCPU taxonomy (LLC-FR / LLC-FI / LLC-T).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VcpuType {
+    Friendly,
+    Fitting,
+    Thrashing,
+}
+
+impl VcpuType {
+    /// Memory-intensive VCPUs are the ones the partitioning pass places.
+    pub fn is_memory_intensive(self) -> bool {
+        matches!(self, VcpuType::Fitting | VcpuType::Thrashing)
+    }
+}
+
+/// Analyzer output for one VCPU for one period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcpuMeta {
+    pub pressure: f64,
+    pub vcpu_type: VcpuType,
+    /// `None` when the VCPU touched no memory this period.
+    pub affinity: Option<NodeId>,
+}
+
+/// Stateless per-period analysis (the paper's analyzer state lives in the
+/// `csched_vcpu` fields; here the policy owns the resulting `VcpuMeta`s).
+#[derive(Debug, Clone)]
+pub struct PmuDataAnalyzer {
+    bounds: Bounds,
+}
+
+impl PmuDataAnalyzer {
+    pub fn new(bounds: Bounds) -> Self {
+        PmuDataAnalyzer { bounds }
+    }
+
+    pub fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    pub fn set_bounds(&mut self, bounds: Bounds) {
+        self.bounds = bounds;
+    }
+
+    /// Eq. 3.
+    pub fn classify(&self, pressure: f64) -> VcpuType {
+        if pressure < self.bounds.low {
+            VcpuType::Friendly
+        } else if pressure < self.bounds.high {
+            VcpuType::Fitting
+        } else {
+            VcpuType::Thrashing
+        }
+    }
+
+    /// Analyze one VCPU's period window.
+    pub fn analyze_one(&self, sample: &PmuSample) -> VcpuMeta {
+        let pressure = sample.llc_access_pressure(self.bounds.alpha);
+        VcpuMeta {
+            pressure,
+            vcpu_type: self.classify(pressure),
+            affinity: sample.memory_node_affinity().map(NodeId::from_index),
+        }
+    }
+
+    /// Analyze every VCPU's window.
+    pub fn analyze(&self, samples: &[PmuSample]) -> Vec<VcpuMeta> {
+        samples.iter().map(|s| self.analyze_one(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(instr: u64, refs: u64, node_accesses: Vec<u64>) -> PmuSample {
+        let local = node_accesses.first().copied().unwrap_or(0);
+        let remote: u64 = node_accesses.iter().skip(1).sum();
+        PmuSample {
+            instructions: instr,
+            llc_refs: refs,
+            llc_misses: refs / 2,
+            local_accesses: local,
+            remote_accesses: remote,
+            node_accesses,
+        }
+    }
+
+    fn analyzer() -> PmuDataAnalyzer {
+        PmuDataAnalyzer::new(Bounds::default())
+    }
+
+    #[test]
+    fn classification_matches_eq3() {
+        let a = analyzer();
+        assert_eq!(a.classify(0.48), VcpuType::Friendly);
+        assert_eq!(a.classify(2.99), VcpuType::Friendly);
+        assert_eq!(a.classify(3.0), VcpuType::Fitting);
+        assert_eq!(a.classify(15.38), VcpuType::Fitting);
+        assert_eq!(a.classify(19.99), VcpuType::Fitting);
+        assert_eq!(a.classify(20.0), VcpuType::Thrashing);
+        assert_eq!(a.classify(22.41), VcpuType::Thrashing);
+    }
+
+    #[test]
+    fn pressure_is_rpti() {
+        let a = analyzer();
+        let m = a.analyze_one(&sample(1_000_000, 20_000, vec![100, 50]));
+        assert!((m.pressure - 20.0).abs() < 1e-9);
+        assert_eq!(m.vcpu_type, VcpuType::Thrashing);
+    }
+
+    #[test]
+    fn affinity_is_argmax_node() {
+        let a = analyzer();
+        let m = a.analyze_one(&sample(1_000, 10, vec![5, 20]));
+        assert_eq!(m.affinity, Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn idle_vcpu_is_friendly_with_no_affinity() {
+        let a = analyzer();
+        let m = a.analyze_one(&sample(0, 0, vec![0, 0]));
+        assert_eq!(m.pressure, 0.0);
+        assert_eq!(m.vcpu_type, VcpuType::Friendly);
+        assert_eq!(m.affinity, None);
+    }
+
+    #[test]
+    fn memory_intensive_covers_fitting_and_thrashing() {
+        assert!(!VcpuType::Friendly.is_memory_intensive());
+        assert!(VcpuType::Fitting.is_memory_intensive());
+        assert!(VcpuType::Thrashing.is_memory_intensive());
+    }
+
+    #[test]
+    fn analyze_batch_preserves_order() {
+        let a = analyzer();
+        let metas = a.analyze(&[
+            sample(1_000_000, 500, vec![1, 0]),
+            sample(1_000_000, 25_000, vec![0, 9]),
+        ]);
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].vcpu_type, VcpuType::Friendly);
+        assert_eq!(metas[1].vcpu_type, VcpuType::Thrashing);
+        assert_eq!(metas[1].affinity, Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn bounds_are_adjustable() {
+        let mut a = analyzer();
+        a.set_bounds(Bounds::new(1.0, 5.0));
+        assert_eq!(a.classify(4.0), VcpuType::Fitting);
+        assert_eq!(a.classify(6.0), VcpuType::Thrashing);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::bounds::Bounds;
+    use proptest::prelude::*;
+
+    fn arb_sample() -> impl Strategy<Value = PmuSample> {
+        (
+            0u64..10_000_000,
+            0u64..200_000,
+            prop::collection::vec(0u64..100_000, 1..5),
+        )
+            .prop_map(|(instr, refs, node_accesses)| {
+                let local = node_accesses[0];
+                let remote: u64 = node_accesses.iter().skip(1).sum();
+                PmuSample {
+                    instructions: instr,
+                    llc_refs: refs,
+                    llc_misses: refs / 2,
+                    local_accesses: local,
+                    remote_accesses: remote,
+                    node_accesses,
+                }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn classification_is_total_and_ordered(pressure in 0.0f64..200.0) {
+            let a = PmuDataAnalyzer::new(Bounds::default());
+            let t = a.classify(pressure);
+            // The classes tile the pressure axis.
+            match t {
+                VcpuType::Friendly => prop_assert!(pressure < 3.0),
+                VcpuType::Fitting => prop_assert!((3.0..20.0).contains(&pressure)),
+                VcpuType::Thrashing => prop_assert!(pressure >= 20.0),
+            }
+        }
+
+        #[test]
+        fn analyze_is_consistent_with_classify(s in arb_sample()) {
+            let a = PmuDataAnalyzer::new(Bounds::default());
+            let m = a.analyze_one(&s);
+            prop_assert_eq!(m.vcpu_type, a.classify(m.pressure));
+            prop_assert!(m.pressure >= 0.0);
+            // Affinity, when present, names the (first) argmax node.
+            if let Some(n) = m.affinity {
+                let max = *s.node_accesses.iter().max().unwrap();
+                prop_assert!(max > 0);
+                prop_assert_eq!(s.node_accesses[n.index()], max);
+                prop_assert!(s.node_accesses[..n.index()].iter().all(|&c| c < max));
+            } else {
+                prop_assert!(s.node_accesses.iter().all(|&c| c == 0));
+            }
+        }
+
+        #[test]
+        fn widening_bounds_never_upgrades_class(
+            s in arb_sample(),
+            low in 0.0f64..10.0,
+            extra in 0.0f64..40.0,
+        ) {
+            // With a higher `high`, a VCPU can only move down the taxonomy.
+            let narrow = PmuDataAnalyzer::new(Bounds::new(low, low + 1.0));
+            let wide = PmuDataAnalyzer::new(Bounds::new(low, low + 1.0 + extra));
+            let rank = |t: VcpuType| match t {
+                VcpuType::Friendly => 0,
+                VcpuType::Fitting => 1,
+                VcpuType::Thrashing => 2,
+            };
+            prop_assert!(
+                rank(wide.analyze_one(&s).vcpu_type) <= rank(narrow.analyze_one(&s).vcpu_type)
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! vProbe: a NUMA-aware VCPU scheduler (Wu et al., IEEE CLUSTER 2016).
+//!
+//! vProbe improves the performance of memory-intensive applications on
+//! virtualized NUMA servers *without* modifying the guest OS, by driving
+//! VCPU placement from hypervisor-level PMU data. It has three parts:
+//!
+//! * the **PMU data analyzer** ([`analyzer`]) computes, per VCPU and per
+//!   sampling period, its *memory node affinity* (Eq. 1: the node holding
+//!   most of its accessed pages), its *LLC access pressure* (Eq. 2: LLC
+//!   references per thousand instructions), and its *type* (Eq. 3:
+//!   LLC-friendly / LLC-fitting / LLC-thrashing against `low`/`high`
+//!   bounds);
+//! * **VCPU periodical partitioning** ([`partition`], Algorithm 1)
+//!   reassigns all memory-intensive (thrashing + fitting) VCPUs evenly
+//!   across nodes, preferring each VCPU's affinity node, balancing LLC
+//!   contention while minimizing remote accesses;
+//! * the **NUMA-aware load balance** ([`balance`], Algorithm 2) makes an
+//!   idle PCPU steal from its own node first — heaviest-loaded PCPU first,
+//!   smallest-LLC-pressure VCPU first — and only then from remote nodes.
+//!
+//! [`VProbePolicy`] composes the three into an `xen_sim::SchedPolicy`. The
+//! paper's ablation baselines are provided as variants — [`vcpu_p`]
+//! (partitioning only) and [`lb_only`] (NUMA-aware stealing only) — and
+//! the comparison scheduler BRM (Rao et al., HPCA 2013) is implemented in
+//! [`brm`], including the global-lock serialization the paper blames for
+//! its poor scaling.
+//!
+//! # Quick start
+//!
+//! ```
+//! use vprobe::{VProbePolicy, Bounds};
+//! use xen_sim::{MachineBuilder, VmConfig};
+//! use mem_model::AllocPolicy;
+//! use numa_topo::presets;
+//! use sim_core::SimDuration;
+//!
+//! let mut machine = MachineBuilder::new(presets::xeon_e5620())
+//!     .policy(Box::new(VProbePolicy::new(2, Bounds::default())))
+//!     .add_vm(VmConfig::new(
+//!         "vm1", 8, 8 << 30, AllocPolicy::SplitEven,
+//!         vec![workloads::npb::lu()],
+//!     ))
+//!     .build()
+//!     .unwrap();
+//! machine.run(SimDuration::from_secs(5));
+//! assert!(machine.metrics().per_vm[0].instructions > 0);
+//! ```
+
+pub mod analyzer;
+pub mod balance;
+pub mod bounds;
+pub mod brm;
+pub mod partition;
+pub mod scheduler;
+pub mod variants;
+
+pub use analyzer::{PmuDataAnalyzer, VcpuMeta, VcpuType};
+pub use balance::numa_aware_steal;
+pub use bounds::{Bounds, DynamicBounds};
+pub use brm::BrmPolicy;
+pub use partition::{partition_vcpus, PartitionInput};
+pub use scheduler::VProbePolicy;
+pub use variants::{lb_only, vcpu_p, vprobe};

@@ -1,0 +1,327 @@
+//! The composed vProbe policy (and its single-mechanism variants).
+
+use crate::analyzer::PmuDataAnalyzer;
+use crate::balance::numa_aware_steal;
+use crate::bounds::{Bounds, DynamicBounds};
+use crate::partition::{partition_vcpus, PartitionInput};
+use numa_topo::{PcpuId, VcpuId};
+use xen_sim::{
+    AnalyzerView, PageMigration, PartitionPlan, SchedPolicy, StealContext, VcpuAssignment,
+};
+
+/// vProbe: PMU data analyzer + VCPU periodical partitioning + NUMA-aware
+/// load balance. Disabling one mechanism yields the paper's ablation
+/// baselines VCPU-P and LB (see [`crate::variants`]).
+pub struct VProbePolicy {
+    analyzer: PmuDataAnalyzer,
+    num_nodes: usize,
+    partition_enabled: bool,
+    numa_lb_enabled: bool,
+    dynamic_bounds: Option<DynamicBounds>,
+    /// §VI extension: per-period per-VCPU page-migration budget in bytes.
+    page_migration_budget: Option<u64>,
+    name: String,
+}
+
+impl VProbePolicy {
+    /// Full vProbe with static bounds.
+    pub fn new(num_nodes: usize, bounds: Bounds) -> Self {
+        assert!(num_nodes > 0, "need at least one node");
+        VProbePolicy {
+            analyzer: PmuDataAnalyzer::new(bounds),
+            num_nodes,
+            partition_enabled: true,
+            numa_lb_enabled: true,
+            dynamic_bounds: None,
+            page_migration_budget: None,
+            name: "vprobe".into(),
+        }
+    }
+
+    pub(crate) fn with_mechanisms(
+        num_nodes: usize,
+        bounds: Bounds,
+        partition: bool,
+        numa_lb: bool,
+        name: &str,
+    ) -> Self {
+        let mut p = VProbePolicy::new(num_nodes, bounds);
+        p.partition_enabled = partition;
+        p.numa_lb_enabled = numa_lb;
+        p.name = name.into();
+        p
+    }
+
+    /// Enable the §VI future-work page-migration extension: at each
+    /// period, up to `bytes_per_period` of a misplaced memory-intensive
+    /// VCPU's working memory is migrated toward its assigned node, so
+    /// VCPUs that *must* run away from their memory (for LLC balance)
+    /// gradually become local anyway.
+    pub fn with_page_migration(mut self, bytes_per_period: u64) -> Self {
+        self.page_migration_budget = Some(bytes_per_period);
+        self.name = format!("{}-pm", self.name);
+        self
+    }
+
+    /// Enable the §VI future-work dynamic-bounds extension.
+    pub fn with_dynamic_bounds(mut self) -> Self {
+        self.dynamic_bounds = Some(DynamicBounds::new(self.analyzer.bounds()));
+        self.name = format!("{}-dyn", self.name);
+        self
+    }
+
+    pub fn bounds(&self) -> Bounds {
+        self.analyzer.bounds()
+    }
+}
+
+impl SchedPolicy for VProbePolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_sample(&mut self, view: AnalyzerView<'_>) -> PartitionPlan {
+        let metas = self.analyzer.analyze(view.samples);
+        if let Some(dyn_bounds) = &mut self.dynamic_bounds {
+            let pressures: Vec<f64> = metas.iter().map(|m| m.pressure).collect();
+            let updated = dyn_bounds.observe(&pressures);
+            self.analyzer.set_bounds(updated);
+        }
+        if !self.partition_enabled {
+            return PartitionPlan::none();
+        }
+        // Memory-intensive VCPUs go through Algorithm 1; friendly ones are
+        // released to the default balancer.
+        let inputs: Vec<PartitionInput> = metas
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.vcpu_type.is_memory_intensive())
+            .map(|(i, m)| PartitionInput {
+                vcpu: VcpuId::new(i as u32),
+                vcpu_type: m.vcpu_type,
+                affinity: m.affinity,
+            })
+            .collect();
+        let placed = partition_vcpus(&inputs, self.num_nodes);
+        // §VI extension: when a memory-intensive VCPU is assigned a node
+        // other than its memory's, move its pages toward the assignment
+        // instead of leaving it remote forever.
+        let mut page_migrations = Vec::new();
+        if let Some(budget) = self.page_migration_budget {
+            for &(vcpu, node) in &placed {
+                let affinity = metas[vcpu.index()].affinity;
+                if affinity.is_some() && affinity != Some(node) {
+                    page_migrations.push(PageMigration {
+                        vcpu,
+                        to_node: node,
+                        max_bytes: budget,
+                    });
+                }
+            }
+        }
+        let mut assignments: Vec<VcpuAssignment> = placed
+            .into_iter()
+            .map(|(vcpu, node)| VcpuAssignment {
+                vcpu,
+                node: Some(node),
+            })
+            .collect();
+        for (i, m) in metas.iter().enumerate() {
+            if !m.vcpu_type.is_memory_intensive() {
+                let vcpu = VcpuId::new(i as u32);
+                if view.vcpus[i].assigned_node.is_some() {
+                    assignments.push(VcpuAssignment { vcpu, node: None });
+                }
+            }
+        }
+        // The paper's partitioning is a one-shot migration (soft): its
+        // persistence across the period depends on the load-balance side
+        // not dragging memory-intensive VCPUs back across nodes — exactly
+        // the interplay the VCPU-P/LB ablation exposes.
+        PartitionPlan {
+            assignments,
+            hard: false,
+            page_migrations,
+        }
+    }
+
+    fn steal(&mut self, ctx: StealContext<'_>) -> Option<(PcpuId, VcpuId)> {
+        if self.numa_lb_enabled {
+            numa_aware_steal(&ctx)
+        } else {
+            // Stock Credit behaviour: first candidate in PCPU id order.
+            for (pcpu, _, candidates) in ctx.victims {
+                if let Some(&vcpu) = candidates.first() {
+                    return Some((*pcpu, vcpu));
+                }
+            }
+            None
+        }
+    }
+
+    fn uses_pmu(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topo::{presets, NodeId};
+    use pmu::PmuSample;
+    use xen_sim::VcpuView;
+
+    fn sample(instr: u64, refs: u64, node_accesses: Vec<u64>) -> PmuSample {
+        let local = node_accesses.first().copied().unwrap_or(0);
+        let remote: u64 = node_accesses.iter().skip(1).sum();
+        PmuSample {
+            instructions: instr,
+            llc_refs: refs,
+            llc_misses: refs / 2,
+            local_accesses: local,
+            remote_accesses: remote,
+            node_accesses,
+        }
+    }
+
+    fn views(n: usize) -> Vec<VcpuView> {
+        (0..n)
+            .map(|i| VcpuView {
+                id: VcpuId::new(i as u32),
+                vm: numa_topo::VmId::new(0),
+                assigned_node: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitioning_pins_memory_intensive_vcpus() {
+        let topo = presets::xeon_e5620();
+        let mut p = VProbePolicy::new(2, Bounds::default());
+        // vcpu0: thrashing, affinity node1; vcpu1: friendly; vcpu2:
+        // fitting, affinity node0.
+        let samples = vec![
+            sample(1_000_000, 25_000, vec![100, 900]),
+            sample(1_000_000, 500, vec![10, 0]),
+            sample(1_000_000, 15_000, vec![800, 200]),
+        ];
+        let vs = views(3);
+        let plan = p.on_sample(AnalyzerView {
+            topo: &topo,
+            samples: &samples,
+            vcpus: &vs,
+        });
+        let a: std::collections::HashMap<u32, Option<NodeId>> = plan
+            .assignments
+            .iter()
+            .map(|x| (x.vcpu.raw(), x.node))
+            .collect();
+        assert_eq!(a[&0], Some(NodeId::new(1)), "thrasher to its affinity node");
+        assert_eq!(a[&2], Some(NodeId::new(0)), "fitting vcpu to its affinity node");
+        assert!(!a.contains_key(&1), "friendly vcpu untouched");
+    }
+
+    #[test]
+    fn friendly_vcpu_released_if_previously_pinned() {
+        let topo = presets::xeon_e5620();
+        let mut p = VProbePolicy::new(2, Bounds::default());
+        let samples = vec![sample(1_000_000, 500, vec![10, 0])];
+        let mut vs = views(1);
+        vs[0].assigned_node = Some(NodeId::new(1));
+        let plan = p.on_sample(AnalyzerView {
+            topo: &topo,
+            samples: &samples,
+            vcpus: &vs,
+        });
+        assert_eq!(plan.assignments.len(), 1);
+        assert_eq!(plan.assignments[0].node, None);
+    }
+
+    #[test]
+    fn vcpu_p_variant_partitions_but_steals_like_credit() {
+        let topo = presets::xeon_e5620();
+        let mut p = crate::variants::vcpu_p(2, Bounds::default());
+        assert_eq!(p.name(), "vcpu-p");
+        // Steal picks the first candidate in PCPU order (Credit style),
+        // ignoring pressure.
+        let victims = vec![
+            (PcpuId::new(1), 2, vec![VcpuId::new(5)]),
+            (PcpuId::new(6), 9, vec![VcpuId::new(6)]),
+        ];
+        let mut pressure = vec![0.0; 8];
+        pressure[5] = 100.0;
+        let got = p.steal(StealContext {
+            topo: &topo,
+            idle_pcpu: PcpuId::new(7),
+            victims: &victims,
+            pressure: &pressure,
+            would_idle: true,
+        });
+        assert_eq!(got, Some((PcpuId::new(1), VcpuId::new(5))));
+    }
+
+    #[test]
+    fn lb_variant_never_partitions() {
+        let topo = presets::xeon_e5620();
+        let mut p = crate::variants::lb_only(2, Bounds::default());
+        assert_eq!(p.name(), "lb");
+        let samples = vec![sample(1_000_000, 25_000, vec![0, 100])];
+        let vs = views(1);
+        let plan = p.on_sample(AnalyzerView {
+            topo: &topo,
+            samples: &samples,
+            vcpus: &vs,
+        });
+        assert!(plan.assignments.is_empty());
+    }
+
+    #[test]
+    fn full_vprobe_steals_numa_aware() {
+        let topo = presets::xeon_e5620();
+        let mut p = crate::variants::vprobe(2, Bounds::default());
+        assert_eq!(p.name(), "vprobe");
+        // Local node (idle PCPU 0 = node0) candidate on PCPU 3 must win
+        // over an earlier-id remote victim.
+        let victims = vec![
+            (PcpuId::new(5), 9, vec![VcpuId::new(1)]),
+            (PcpuId::new(3), 2, vec![VcpuId::new(2)]),
+        ];
+        let pressure = vec![0.0; 8];
+        let got = p.steal(StealContext {
+            topo: &topo,
+            idle_pcpu: PcpuId::new(0),
+            victims: &victims,
+            pressure: &pressure,
+            would_idle: true,
+        });
+        assert_eq!(got, Some((PcpuId::new(3), VcpuId::new(2))));
+    }
+
+    #[test]
+    fn dynamic_bounds_variant_adapts() {
+        let topo = presets::xeon_e5620();
+        let mut p = VProbePolicy::new(2, Bounds::default()).with_dynamic_bounds();
+        assert_eq!(p.name(), "vprobe-dyn");
+        let before = p.bounds();
+        // Feed several periods of uniformly heavy pressure.
+        for _ in 0..30 {
+            let samples: Vec<PmuSample> = (0..6)
+                .map(|_| sample(1_000_000, 30_000, vec![50, 50]))
+                .collect();
+            let vs = views(6);
+            p.on_sample(AnalyzerView {
+                topo: &topo,
+                samples: &samples,
+                vcpus: &vs,
+            });
+        }
+        assert!(p.bounds().low > before.low);
+    }
+
+    #[test]
+    fn uses_pmu_true_for_all_variants() {
+        assert!(crate::variants::vprobe(2, Bounds::default()).uses_pmu());
+        assert!(crate::variants::vcpu_p(2, Bounds::default()).uses_pmu());
+        assert!(crate::variants::lb_only(2, Bounds::default()).uses_pmu());
+    }
+}

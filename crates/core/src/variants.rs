@@ -1,0 +1,39 @@
+//! The paper's evaluated scheduler set (§V-A2).
+//!
+//! * **vProbe** — analyzer + partitioning + NUMA-aware load balance;
+//! * **VCPU-P** — partitioning only (stock Credit stealing), used to show
+//!   that ignoring the load-balance strategy leaves performance behind;
+//! * **LB** — NUMA-aware stealing only (no partitioning), used to show
+//!   that ignoring balanced LLC contention leaves performance behind;
+//! * Credit lives in `xen_sim::CreditPolicy`; BRM in [`crate::brm`].
+
+use crate::bounds::Bounds;
+use crate::scheduler::VProbePolicy;
+
+/// The full vProbe scheduler.
+pub fn vprobe(num_nodes: usize, bounds: Bounds) -> VProbePolicy {
+    VProbePolicy::with_mechanisms(num_nodes, bounds, true, true, "vprobe")
+}
+
+/// VCPU periodical partitioning only.
+pub fn vcpu_p(num_nodes: usize, bounds: Bounds) -> VProbePolicy {
+    VProbePolicy::with_mechanisms(num_nodes, bounds, true, false, "vcpu-p")
+}
+
+/// NUMA-aware load balance only.
+pub fn lb_only(num_nodes: usize, bounds: Bounds) -> VProbePolicy {
+    VProbePolicy::with_mechanisms(num_nodes, bounds, false, true, "lb")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xen_sim::SchedPolicy;
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(vprobe(2, Bounds::default()).name(), "vprobe");
+        assert_eq!(vcpu_p(2, Bounds::default()).name(), "vcpu-p");
+        assert_eq!(lb_only(2, Bounds::default()).name(), "lb");
+    }
+}

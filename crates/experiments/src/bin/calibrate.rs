@@ -1,0 +1,55 @@
+//! Quick calibration sweep: all five schedulers on several workloads,
+//! printing the paper-relevant ratios. Used during development to tune
+//! model parameters; kept as a diagnostic tool.
+
+use experiments::runner::{run_all_schedulers, RunOptions, SetupKind};
+use sim_core::SimDuration;
+use workloads::{npb, speccpu};
+
+fn main() {
+    let opts = RunOptions {
+        duration: SimDuration::from_secs(30),
+        ..RunOptions::default()
+    };
+    let cases: Vec<(&str, Vec<workloads::WorkloadSpec>)> = vec![
+        ("soplex", vec![speccpu::soplex(); 4]),
+        ("libquantum", vec![speccpu::libquantum(); 4]),
+        ("milc", vec![speccpu::milc(); 4]),
+        ("lu", vec![npb::lu()]),
+        ("sp", vec![npb::sp()]),
+        ("mix", speccpu::mix()),
+    ];
+    for (name, wl) in cases {
+        let runs = run_all_schedulers(SetupKind::PaperEval, wl.clone(), wl, &opts).unwrap();
+        let credit = runs[0].clone();
+        println!("== {name} ==");
+        for r in &runs {
+            let vm1 = &r.metrics.per_vm[0];
+            let vm2 = &r.metrics.per_vm[1];
+            let vm3 = &r.metrics.per_vm[2];
+            println!(
+                "  {:8} time={:.3} eff={:.3} total={:.3} remote={:.3} rratio={:.3} migr={} cross={} part={} busy=({:.1},{:.1},{:.1})s mpi1={:.4} cpi1={:.2} idlework={} steals={:?} idle_st={}",
+                r.scheduler.name(),
+                r.normalized_time_vs(&credit),
+                {
+                    let c1 = &credit.metrics.per_vm[0];
+                    let v1 = &r.metrics.per_vm[0];
+                    (v1.instructions as f64 / v1.busy_us.max(1) as f64)
+                        / (c1.instructions as f64 / c1.busy_us.max(1) as f64)
+                },
+                r.normalized_total_vs(&credit),
+                r.normalized_remote_vs(&credit),
+                r.remote_ratio,
+                r.migrations,
+                r.cross_node_migrations,
+                r.partition_moves,
+                vm1.busy_us as f64/1e6, vm2.busy_us as f64/1e6, vm3.busy_us as f64/1e6,
+                vm1.llc_misses as f64 / vm1.instructions.max(1) as f64 * 1000.0,
+                vm1.busy_us as f64 * 2400.0 / vm1.instructions.max(1) as f64,
+                r.metrics.idle_with_work_quanta,
+                r.metrics.steals_per_vm,
+                r.metrics.idle_steals,
+            );
+        }
+    }
+}

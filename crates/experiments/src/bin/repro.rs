@@ -1,0 +1,107 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! repro all            # everything, paper-scale windows (~10 min)
+//! repro fig4 fig8      # a selection
+//! repro --quick all    # short windows (~1 min), for smoke runs
+//! repro --csv DIR all  # additionally write one CSV per artifact
+//! ```
+
+use experiments::report::Table;
+use experiments::runner::RunOptions;
+use experiments::{
+    fig1_remote_ratio, fig3_bounds, fig4_spec, fig5_npb, fig6_memcached, fig7_redis, fig8_period,
+    table3_overhead,
+};
+use sim_core::SimDuration;
+use std::path::PathBuf;
+
+const ARTIFACTS: [&str; 10] = [
+    "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "fig8", "ext-pagemig", "ext-scaling",
+];
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = take_flag(&mut args, "--quick");
+    let csv_dir = take_value(&mut args, "--csv").map(PathBuf::from);
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--quick] [--csv DIR] all | {}", ARTIFACTS.join(" | "));
+        std::process::exit(2);
+    }
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ARTIFACTS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for s in &selected {
+        if !ARTIFACTS.contains(s) {
+            eprintln!("unknown artifact '{s}'; known: {}", ARTIFACTS.join(", "));
+            std::process::exit(2);
+        }
+    }
+
+    let opts = if quick {
+        RunOptions {
+            duration: SimDuration::from_secs(10),
+            warmup: SimDuration::from_secs(4),
+            ..RunOptions::default()
+        }
+    } else {
+        RunOptions {
+            duration: SimDuration::from_secs(30),
+            warmup: SimDuration::from_secs(10),
+            ..RunOptions::default()
+        }
+    };
+
+    for name in selected {
+        let table = generate(name, &opts);
+        println!("{}", table.to_text());
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn generate(name: &str, opts: &RunOptions) -> Table {
+    match name {
+        "fig1" => fig1_remote_ratio::render(&fig1_remote_ratio::run(opts).expect("fig1")),
+        "fig3" => fig3_bounds::render(&fig3_bounds::run(opts).expect("fig3")),
+        "fig4" => fig4_spec::render(&fig4_spec::run(opts).expect("fig4"), "Fig. 4"),
+        "fig5" => fig5_npb::render(&fig5_npb::run(opts).expect("fig5")),
+        "fig6" => fig6_memcached::render(&fig6_memcached::run(opts).expect("fig6")),
+        "fig7" => fig7_redis::render(&fig7_redis::run(opts).expect("fig7")),
+        "table3" => table3_overhead::render(&table3_overhead::run(opts).expect("table3")),
+        "fig8" => fig8_period::render(&fig8_period::run(opts).expect("fig8")),
+        "ext-pagemig" => experiments::extensions::render_page_migration(
+            &experiments::extensions::run_page_migration(opts).expect("ext-pagemig"),
+        ),
+        "ext-scaling" => experiments::extensions::render_scaling(
+            &experiments::extensions::run_scaling(opts).expect("ext-scaling"),
+        ),
+        _ => unreachable!("validated above"),
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,51 @@
+//! Run a declarative JSON scenario file.
+//!
+//! ```sh
+//! scenario path/to/scenario.json
+//! scenario --print-example
+//! ```
+
+use experiments::scenario::Scenario;
+
+const EXAMPLE: &str = r#"{
+  "topology": "xeon_e5620",
+  "scheduler": "vprobe",
+  "duration_s": 20,
+  "seed": 7,
+  "vms": [
+    { "name": "db", "vcpus": 8, "mem_gb": 8, "alloc": "split",
+      "workloads": ["redis:4000"] },
+    { "name": "cache", "vcpus": 8, "mem_gb": 4,
+      "workloads": ["memcached:64"] },
+    { "name": "batch", "vcpus": 4, "mem_gb": 4,
+      "workloads": ["soplex", "soplex", "soplex", "soplex"] }
+  ]
+}"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag] if flag == "--print-example" => println!("{EXAMPLE}"),
+        [path] => {
+            let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let scenario = Scenario::from_json(&json).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            match scenario.run() {
+                Ok(table) => println!("{}", table.to_text()),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: scenario <file.json> | --print-example");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regeneration harness for every table and figure in the vProbe paper.
+//!
+//! Each module reproduces one experiment:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig1_remote_ratio`] | Fig. 1 — remote-access % under the Credit scheduler |
+//! | [`fig3_bounds`] | Fig. 3 — LLC miss rate and RPTI per program; the `low`/`high` bounds |
+//! | [`fig4_spec`] | Fig. 4 — SPEC CPU2006 under the five schedulers |
+//! | [`fig5_npb`] | Fig. 5 — NPB under the five schedulers |
+//! | [`fig6_memcached`] | Fig. 6 — memcached concurrency sweep |
+//! | [`fig7_redis`] | Fig. 7 — redis connection sweep |
+//! | [`table3_overhead`] | Table III — "overhead time" percentage, 1–4 VMs |
+//! | [`fig8_period`] | Fig. 8 — sampling-period sweep on workload *mix* |
+//!
+//! [`extensions`] goes beyond the paper: the §VI future-work features
+//! (page migration) and a node-count scaling study.
+//!
+//! [`runner`] holds the shared machinery (the paper's §V-A VM setup, the
+//! five schedulers, one-run measurement); [`report`] renders results as
+//! aligned text tables and CSV.
+
+pub mod extensions;
+pub mod fig1_remote_ratio;
+pub mod fig3_bounds;
+pub mod fig4_spec;
+pub mod fig5_npb;
+pub mod fig6_memcached;
+pub mod fig7_redis;
+pub mod fig8_period;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod table3_overhead;
+
+pub use runner::{run_workload, Scheduler, SetupKind, WorkloadRun, ALL_SCHEDULERS};

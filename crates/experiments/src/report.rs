@@ -1,0 +1,150 @@
+//! Result rendering: aligned text tables and CSV.
+
+/// A simple column-aligned table builder for experiment output.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:<w$}", c, w = widths[i]));
+            }
+            while s.ends_with(' ') {
+                s.pop();
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a ratio to three decimals (the paper's bar-chart precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a percentage with two significant decimals.
+pub fn pct(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+/// Format an overhead percentage with Table III's precision.
+pub fn pct5(x: f64) -> String {
+    format!("{x:.5}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("T", &["a", "bb"]);
+        t.push_row(vec!["x".into(), "1.000".into()]);
+        t.push_row(vec!["longer".into(), "2".into()]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let txt = table().to_text();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].starts_with("a       bb"));
+        assert!(lines[3].starts_with("x       1.000"));
+        assert!(lines[4].starts_with("longer  2"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let csv = table().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "a,bb");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("T", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pct(0.0105), "0.01%");
+        assert_eq!(pct5(0.0123456), "0.01235");
+    }
+}

@@ -1,0 +1,295 @@
+//! Declarative scenarios: describe a machine, its VMs, and a scheduler in
+//! JSON; run it and get the standard metrics back.
+//!
+//! This is the "I want to try my own setup" entry point a downstream user
+//! reaches for before writing Rust:
+//!
+//! ```json
+//! {
+//!   "topology": "xeon_e5620",
+//!   "scheduler": "vprobe",
+//!   "duration_s": 20,
+//!   "seed": 7,
+//!   "vms": [
+//!     { "name": "db", "vcpus": 8, "mem_gb": 8, "alloc": "split",
+//!       "workloads": ["redis:4000"] },
+//!     { "name": "batch", "vcpus": 4, "mem_gb": 4, "alloc": "most_free",
+//!       "workloads": ["soplex", "soplex", "soplex", "soplex"] }
+//!   ]
+//! }
+//! ```
+//!
+//! Workload strings name registry entries (`soplex`, `lu`, `hungry`, …)
+//! plus the parameterized servers `memcached:<concurrency>` and
+//! `redis:<connections>`.
+
+use crate::report::{pct, Table};
+use mem_model::AllocPolicy;
+use numa_topo::{presets, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimError};
+use vprobe::{variants, Bounds, BrmPolicy};
+use workloads::{kv, registry, WorkloadSpec};
+use xen_sim::{CreditPolicy, Machine, MachineBuilder, SchedPolicy, VmConfig};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+/// One VM in a scenario file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmSpec {
+    pub name: String,
+    pub vcpus: usize,
+    pub mem_gb: u64,
+    /// `most_free` | `split` | `node:<id>` | `striped`
+    #[serde(default = "default_alloc")]
+    pub alloc: String,
+    /// Workload names; see module docs.
+    pub workloads: Vec<String>,
+    /// Optional hard pin (`node:<id>`).
+    #[serde(default)]
+    pub pin: Option<String>,
+    /// Credit weight (Xen default 256).
+    #[serde(default = "default_weight")]
+    pub weight: u32,
+}
+
+fn default_alloc() -> String {
+    "most_free".into()
+}
+
+fn default_weight() -> u32 {
+    256
+}
+
+/// A whole scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// "xeon_e5620" | "four_socket" | "uma"
+    #[serde(default = "default_topology")]
+    pub topology: String,
+    /// "credit" | "vprobe" | "vcpu-p" | "lb" | "brm"
+    #[serde(default = "default_scheduler")]
+    pub scheduler: String,
+    #[serde(default = "default_duration")]
+    pub duration_s: u64,
+    #[serde(default)]
+    pub seed: u64,
+    pub vms: Vec<VmSpec>,
+}
+
+fn default_topology() -> String {
+    "xeon_e5620".into()
+}
+
+fn default_scheduler() -> String {
+    "vprobe".into()
+}
+
+fn default_duration() -> u64 {
+    20
+}
+
+impl Scenario {
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Scenario, SimError> {
+        serde_json::from_str(json)
+            .map_err(|e| SimError::InvalidConfig(format!("scenario parse error: {e}")))
+    }
+
+    pub fn topology(&self) -> Result<Topology, SimError> {
+        match self.topology.as_str() {
+            "xeon_e5620" => Ok(presets::xeon_e5620()),
+            "four_socket" => Ok(presets::four_socket_32core()),
+            "uma" => Ok(presets::uma_quad()),
+            other => Err(SimError::UnknownName(format!("topology '{other}'"))),
+        }
+    }
+
+    fn policy(&self, num_nodes: usize) -> Result<Box<dyn SchedPolicy>, SimError> {
+        Ok(match self.scheduler.as_str() {
+            "credit" => Box::new(CreditPolicy::new()),
+            "vprobe" => Box::new(variants::vprobe(num_nodes, Bounds::default())),
+            "vcpu-p" => Box::new(variants::vcpu_p(num_nodes, Bounds::default())),
+            "lb" => Box::new(variants::lb_only(num_nodes, Bounds::default())),
+            "brm" => Box::new(BrmPolicy::new(self.seed)),
+            other => return Err(SimError::UnknownName(format!("scheduler '{other}'"))),
+        })
+    }
+
+    /// Build the machine.
+    pub fn build(&self) -> Result<Machine, SimError> {
+        if self.vms.is_empty() {
+            return Err(SimError::InvalidConfig("scenario has no VMs".into()));
+        }
+        let topo = self.topology()?;
+        let mut b = MachineBuilder::new(topo.clone())
+            .policy(self.policy(topo.num_nodes())?)
+            .seed(self.seed);
+        for vm in &self.vms {
+            let mut cfg = VmConfig::new(
+                vm.name.clone(),
+                vm.vcpus,
+                vm.mem_gb * GB,
+                parse_alloc(&vm.alloc)?,
+                parse_workloads(&vm.workloads)?,
+            );
+            if let Some(pin) = &vm.pin {
+                cfg.pin_node = Some(parse_node(pin)?);
+            }
+            cfg.weight = vm.weight;
+            b = b.add_vm(cfg);
+        }
+        b.build()
+    }
+
+    /// Build, run, and summarize.
+    pub fn run(&self) -> Result<Table, SimError> {
+        let mut machine = self.build()?;
+        machine.run(SimDuration::from_secs(self.duration_s));
+        let m = machine.metrics();
+        let mut t = Table::new(
+            format!(
+                "scenario: {} on {}, {} s (seed {})",
+                self.scheduler, self.topology, self.duration_s, self.seed
+            ),
+            &["vm", "instr/s", "remote accesses", "busy (s)"],
+        );
+        for (vm, spec) in m.per_vm.iter().zip(&self.vms) {
+            t.push_row(vec![
+                spec.name.clone(),
+                format!("{:.3e}", vm.instr_per_second(m.elapsed)),
+                pct(vm.remote_ratio() * 100.0),
+                format!("{:.1}", vm.busy_us as f64 / 1e6),
+            ]);
+        }
+        Ok(t)
+    }
+}
+
+fn parse_alloc(s: &str) -> Result<AllocPolicy, SimError> {
+    if let Some(id) = s.strip_prefix("node:") {
+        return Ok(AllocPolicy::OnNode(parse_node_id(id)?));
+    }
+    match s {
+        "most_free" => Ok(AllocPolicy::MostFree),
+        "split" => Ok(AllocPolicy::SplitEven),
+        "striped" => Ok(AllocPolicy::Striped {
+            chunk_bytes: 256 * 1024 * 1024,
+        }),
+        other => Err(SimError::UnknownName(format!("alloc policy '{other}'"))),
+    }
+}
+
+fn parse_node(s: &str) -> Result<NodeId, SimError> {
+    let id = s
+        .strip_prefix("node:")
+        .ok_or_else(|| SimError::InvalidConfig(format!("pin must be 'node:<id>', got '{s}'")))?;
+    parse_node_id(id)
+}
+
+fn parse_node_id(id: &str) -> Result<NodeId, SimError> {
+    id.parse::<u16>()
+        .map(NodeId::new)
+        .map_err(|_| SimError::InvalidConfig(format!("bad node id '{id}'")))
+}
+
+fn parse_workloads(names: &[String]) -> Result<Vec<WorkloadSpec>, SimError> {
+    names
+        .iter()
+        .map(|n| {
+            if let Some(c) = n.strip_prefix("memcached:") {
+                let c: u32 = c
+                    .parse()
+                    .map_err(|_| SimError::InvalidConfig(format!("bad concurrency in '{n}'")))?;
+                Ok(kv::memcached(c))
+            } else if let Some(k) = n.strip_prefix("redis:") {
+                let k: u32 = k
+                    .parse()
+                    .map_err(|_| SimError::InvalidConfig(format!("bad connections in '{n}'")))?;
+                Ok(kv::redis(k))
+            } else {
+                registry::by_name(n)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"{
+        "topology": "xeon_e5620",
+        "scheduler": "vprobe",
+        "duration_s": 3,
+        "seed": 7,
+        "vms": [
+            { "name": "db", "vcpus": 8, "mem_gb": 8, "alloc": "split",
+              "workloads": ["redis:4000"] },
+            { "name": "batch", "vcpus": 4, "mem_gb": 4,
+              "workloads": ["soplex", "soplex", "soplex", "soplex"] }
+        ]
+    }"#;
+
+    #[test]
+    fn example_scenario_parses_and_runs() {
+        let sc = Scenario::from_json(EXAMPLE).unwrap();
+        assert_eq!(sc.vms.len(), 2);
+        assert_eq!(sc.vms[1].weight, 256, "default weight applied");
+        let table = sc.run().unwrap();
+        assert_eq!(table.num_rows(), 2);
+        let txt = table.to_text();
+        assert!(txt.contains("db"));
+        assert!(txt.contains("batch"));
+    }
+
+    #[test]
+    fn parameterized_server_workloads_parse() {
+        let w = parse_workloads(&["memcached:64".into(), "redis:2000".into()]).unwrap();
+        assert_eq!(w[0].name, "memcached-c64");
+        assert_eq!(w[1].name, "redis-k2000");
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_context() {
+        assert!(Scenario::from_json("{").is_err());
+        let mut sc = Scenario::from_json(EXAMPLE).unwrap();
+        sc.scheduler = "fifo".into();
+        assert!(sc.run().unwrap_err().to_string().contains("fifo"));
+        let mut sc = Scenario::from_json(EXAMPLE).unwrap();
+        sc.topology = "mainframe".into();
+        assert!(sc.run().unwrap_err().to_string().contains("mainframe"));
+        let mut sc = Scenario::from_json(EXAMPLE).unwrap();
+        sc.vms[0].workloads = vec!["fortnite".into()];
+        assert!(sc.run().is_err());
+        let mut sc = Scenario::from_json(EXAMPLE).unwrap();
+        sc.vms.clear();
+        assert!(sc.run().unwrap_err().to_string().contains("no VMs"));
+    }
+
+    #[test]
+    fn pinned_scenario_vm_stays_local() {
+        let json = r#"{
+            "scheduler": "credit",
+            "duration_s": 3,
+            "vms": [
+                { "name": "pinned", "vcpus": 2, "mem_gb": 2,
+                  "alloc": "node:1", "pin": "node:1",
+                  "workloads": ["milc", "milc"] }
+            ]
+        }"#;
+        let sc = Scenario::from_json(json).unwrap();
+        let mut machine = sc.build().unwrap();
+        machine.run(SimDuration::from_secs(3));
+        assert_eq!(machine.metrics().per_vm[0].remote_accesses, 0);
+    }
+
+    #[test]
+    fn scenario_round_trips_through_serde() {
+        let sc = Scenario::from_json(EXAMPLE).unwrap();
+        let json = serde_json::to_string(&sc).unwrap();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back.vms[0].name, "db");
+        assert_eq!(back.duration_s, 3);
+    }
+}

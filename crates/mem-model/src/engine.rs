@@ -1,0 +1,598 @@
+//! Per-quantum execution resolution.
+//!
+//! [`MemoryEngine::step`] is the simulator's performance model: given which
+//! VCPU ran on which node this quantum (and with what behavioural profile),
+//! it computes how many instructions each executed and how its memory
+//! accesses distributed over nodes. The hypervisor simulator calls it once
+//! per quantum and feeds the results to the virtual PMU.
+//!
+//! The model composes:
+//!
+//! * per-socket LLC sharing → per-VCPU miss rate ([`crate::llc`]);
+//! * per-node IMC queueing → DRAM latency multiplier ([`crate::imc`]);
+//! * per-node-pair interconnect queueing → hop multiplier ([`crate::qpi`]);
+//! * latency composition into an effective CPI.
+//!
+//! Latency multipliers and offered demand depend on each other (higher
+//! latency throttles instruction rate, which lowers demand), so each
+//! quantum solves that fixed point by damped iteration — a lagged update
+//! oscillates between idle and saturated when the workload is near the
+//! knee of the queueing curve.
+
+use crate::curve::MissCurve;
+use crate::imc::ImcModel;
+use crate::latency::LatencyParams;
+use crate::llc::{LlcDemand, LlcModel};
+use crate::qpi::QpiModel;
+use numa_topo::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use sim_core::SimDuration;
+
+/// Behavioural profile of whatever a VCPU is currently executing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessProfile {
+    /// LLC references per thousand retired instructions (paper's RPTI).
+    pub rpti: f64,
+    /// Cycles per instruction with a perfect LLC (core + L1/L2 effects).
+    pub base_cpi: f64,
+    /// Miss-rate-vs-occupancy curve.
+    pub miss_curve: MissCurve,
+    /// Memory-level parallelism: average number of outstanding cache
+    /// misses the workload sustains. Streaming codes overlap many misses
+    /// (4-8); pointer chasers serialize them (~1-2). Stall cycles per miss
+    /// are `latency / mlp`.
+    pub mlp: f64,
+    /// Fraction of memory accesses landing on each node; must sum to 1.
+    pub node_access_dist: Vec<f64>,
+}
+
+impl AccessProfile {
+    /// A profile that performs no memory accesses (idle/hungry loop body).
+    pub fn cpu_only(base_cpi: f64, num_nodes: usize) -> Self {
+        AccessProfile {
+            rpti: 0.0,
+            base_cpi,
+            miss_curve: MissCurve::flat(0.0),
+            mlp: 1.0,
+            node_access_dist: vec![0.0; num_nodes],
+        }
+    }
+}
+
+/// One VCPU's share of the quantum, as scheduled by the hypervisor.
+#[derive(Debug, Clone)]
+pub struct QuantumUsage {
+    /// Caller-chosen identifier, echoed in the result (the VCPU id).
+    pub key: u64,
+    /// Node whose PCPU ran this VCPU.
+    pub node: NodeId,
+    /// Fraction of the quantum actually run, `(0, 1]`.
+    pub runtime_share: f64,
+    /// What the VCPU executed.
+    pub profile: AccessProfile,
+    /// Post-migration cache-warmup penalty: multiplies the miss rate
+    /// (clamped to the curve's `max_miss`); 1.0 when warm.
+    pub cold_miss_boost: f64,
+    /// Scheduler/monitoring time stolen from this VCPU this quantum, in
+    /// microseconds (PMU sampling cost, BRM's global lock, …).
+    pub overhead_us: f64,
+}
+
+/// What one VCPU accomplished during the quantum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcpuQuantumResult {
+    pub key: u64,
+    pub instructions: u64,
+    pub llc_refs: u64,
+    pub llc_misses: u64,
+    /// Misses served by the node the VCPU ran on.
+    pub local_accesses: u64,
+    /// Misses served by any other node.
+    pub remote_accesses: u64,
+    /// Misses per home node (the PMU's `N(vc, i)` page-access proxy).
+    pub node_accesses: Vec<u64>,
+    /// Realized cycles-per-instruction including all stalls.
+    pub effective_cpi: f64,
+    /// Realized miss rate after sharing and warmup effects.
+    pub miss_rate: f64,
+}
+
+/// Dynamic contention levels, exposed for metrics and tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionSnapshot {
+    /// Latency multiplier of each node's IMC.
+    pub imc_multiplier: Vec<f64>,
+    /// Hop multiplier per node pair, row-major `n×n` (diagonal 1.0).
+    pub qpi_multiplier: Vec<f64>,
+}
+
+/// Calibration knobs translating nameplate hardware numbers into the
+/// behaviour a memory-bound workload actually sees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineParams {
+    /// Fraction of nameplate IMC bandwidth sustainable under the mixed
+    /// random/streaming traffic of the modeled workloads (Nehalem-EP
+    /// sustains roughly 40-50 % of peak on non-ideal access patterns).
+    pub sustained_imc_frac: f64,
+    /// Fraction of raw QPI bandwidth available to data after protocol and
+    /// coherence overhead.
+    pub sustained_qpi_frac: f64,
+    /// DRAM traffic per LLC miss, in bytes: the 64-byte demand line plus
+    /// prefetcher overfetch and writebacks.
+    pub traffic_per_miss_bytes: f64,
+    /// Extra home-IMC work for a remote access (snoop + forward) relative
+    /// to a local one.
+    pub remote_imc_overhead: f64,
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        EngineParams {
+            sustained_imc_frac: 0.45,
+            sustained_qpi_frac: 0.22,
+            traffic_per_miss_bytes: 115.0,
+            remote_imc_overhead: 1.5,
+        }
+    }
+}
+
+/// The composed memory-system model for one machine.
+#[derive(Debug, Clone)]
+pub struct MemoryEngine {
+    params: EngineParams,
+    num_nodes: usize,
+    llc: Vec<LlcModel>,
+    imc: Vec<ImcModel>,
+    local_latency_ns: Vec<f64>,
+    qpi: Vec<Option<QpiModel>>, // per pair, row-major
+    hop_latency_ns: Vec<f64>,   // per pair, row-major
+    latency: LatencyParams,
+    line_bytes: u32,
+    freq_mhz: u32,
+    imc_mult: Vec<f64>,
+    qpi_mult: Vec<f64>, // per pair, row-major
+}
+
+impl MemoryEngine {
+    /// Build the engine from a validated topology with default calibration.
+    pub fn new(topo: &Topology) -> Self {
+        MemoryEngine::with_params(topo, EngineParams::default())
+    }
+
+    /// Build with explicit calibration parameters.
+    pub fn with_params(topo: &Topology, params: EngineParams) -> Self {
+        let n = topo.num_nodes();
+        let mut llc = Vec::with_capacity(n);
+        let mut imc = Vec::with_capacity(n);
+        let mut local_latency_ns = Vec::with_capacity(n);
+        let mut line_bytes = 64;
+        for node in topo.nodes() {
+            let cfg = topo.node_config(node);
+            llc.push(LlcModel::new(cfg.llc.size_bytes));
+            imc.push(ImcModel::new(
+                ((cfg.imc_bandwidth_bytes_per_s as f64) * params.sustained_imc_frac) as u64,
+            ));
+            local_latency_ns.push(cfg.local_latency_ns);
+            line_bytes = cfg.llc.line_bytes;
+        }
+        let mut qpi = vec![None; n * n];
+        let mut hop_latency_ns = vec![0.0; n * n];
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a == b {
+                    continue;
+                }
+                // Parallel links between the pair share the traffic.
+                let links: Vec<_> = topo
+                    .links()
+                    .iter()
+                    .filter(|l| l.connects(a, b))
+                    .collect();
+                if let Some(first) = links.first() {
+                    let idx = a.index() * n + b.index();
+                    qpi[idx] = Some(QpiModel::new(
+                        ((first.bandwidth_bytes_per_s as f64) * params.sustained_qpi_frac)
+                            as u64,
+                        links.len() as u32,
+                    ));
+                    hop_latency_ns[idx] = first.hop_latency_ns;
+                }
+            }
+        }
+        MemoryEngine {
+            params,
+            num_nodes: n,
+            llc,
+            imc,
+            local_latency_ns,
+            qpi,
+            hop_latency_ns,
+            latency: LatencyParams::new(topo.freq_mhz()),
+            line_bytes,
+            freq_mhz: topo.freq_mhz(),
+            imc_mult: vec![1.0; n],
+            qpi_mult: vec![1.0; n * n],
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    pub fn contention(&self) -> ContentionSnapshot {
+        ContentionSnapshot {
+            imc_multiplier: self.imc_mult.clone(),
+            qpi_multiplier: self.qpi_mult.clone(),
+        }
+    }
+
+    /// Resolve one quantum. `usages` lists every VCPU that ran (at most one
+    /// per PCPU per share of the quantum; the hypervisor may split a
+    /// quantum between two VCPUs by passing two entries with shares
+    /// summing to ≤ 1 for that PCPU).
+    pub fn step(&mut self, quantum: SimDuration, usages: &[QuantumUsage]) -> Vec<VcpuQuantumResult> {
+        let quantum_us = quantum.as_micros() as f64;
+        assert!(quantum_us > 0.0, "zero quantum");
+
+        // 1. LLC sharing per node.
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); self.num_nodes];
+        for (i, u) in usages.iter().enumerate() {
+            debug_assert!(
+                (u.profile.node_access_dist.len()) == self.num_nodes,
+                "profile node distribution has wrong arity"
+            );
+            per_node[u.node.index()].push(i);
+        }
+        let mut miss_rate = vec![0.0f64; usages.len()];
+        for (node, members) in per_node.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let demands: Vec<LlcDemand> = members
+                .iter()
+                .map(|&i| LlcDemand {
+                    rpti: usages[i].profile.rpti,
+                    curve: usages[i].profile.miss_curve,
+                    runtime_share: usages[i].runtime_share,
+                })
+                .collect();
+            let occ = self.llc[node].occupancies(&demands);
+            for (&i, o) in members.iter().zip(occ.iter()) {
+                let boosted = o.miss_rate * usages[i].cold_miss_boost.max(1.0);
+                miss_rate[i] = boosted.min(usages[i].profile.miss_curve.max_miss.max(o.miss_rate));
+            }
+        }
+
+        // 2. Solve the contention fixed point: instruction rates depend on
+        // latency multipliers, which depend on the demand those rates
+        // generate. Damped iteration from the previous quantum's state.
+        let quantum_s = quantum_us / 1e6;
+        let mut imc_mult = self.imc_mult.clone();
+        let mut qpi_mult = self.qpi_mult.clone();
+        let mut results: Vec<VcpuQuantumResult> = Vec::new();
+        for round in 0..FIXED_POINT_ROUNDS {
+            let mut node_demand_bytes = vec![0.0f64; self.num_nodes];
+            let mut pair_traffic_bytes = vec![0.0f64; self.num_nodes * self.num_nodes];
+            results = self.evaluate(
+                quantum_us,
+                usages,
+                &miss_rate,
+                &imc_mult,
+                &qpi_mult,
+                &mut node_demand_bytes,
+                &mut pair_traffic_bytes,
+            );
+            // Recompute multipliers from this round's demand and relax.
+            let damp = if round == 0 { 1.0 } else { 0.5 };
+            for node in 0..self.num_nodes {
+                let target = self.imc[node].latency_multiplier(node_demand_bytes[node] / quantum_s);
+                imc_mult[node] += damp * (target - imc_mult[node]);
+            }
+            for a in 0..self.num_nodes {
+                for b in 0..self.num_nodes {
+                    let idx = a * self.num_nodes + b;
+                    let target = match &self.qpi[idx] {
+                        Some(q) => q.latency_multiplier(pair_traffic_bytes[idx] / quantum_s),
+                        None => 1.0,
+                    };
+                    qpi_mult[idx] += damp * (target - qpi_mult[idx]);
+                }
+            }
+        }
+        self.imc_mult = imc_mult;
+        self.qpi_mult = qpi_mult;
+        results
+    }
+
+    /// One evaluation of every VCPU's quantum at fixed contention levels.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate(
+        &self,
+        quantum_us: f64,
+        usages: &[QuantumUsage],
+        miss_rate: &[f64],
+        imc_mult: &[f64],
+        qpi_mult: &[f64],
+        node_demand_bytes: &mut [f64],
+        pair_traffic_bytes: &mut [f64],
+    ) -> Vec<VcpuQuantumResult> {
+        let mut results = Vec::with_capacity(usages.len());
+        for (i, u) in usages.iter().enumerate() {
+            let run_node = u.node.index();
+            let m = miss_rate[i];
+            let refs_per_instr = u.profile.rpti / 1_000.0;
+
+            // Average cycle cost of a miss over the access distribution.
+            let mut miss_cycles = 0.0;
+            for (home, &frac) in u.profile.node_access_dist.iter().enumerate() {
+                if frac <= 0.0 {
+                    continue;
+                }
+                let pair = run_node * self.num_nodes + home;
+                let hop = if home == run_node {
+                    None
+                } else {
+                    Some(self.hop_latency_ns[pair])
+                };
+                miss_cycles += frac
+                    * self.latency.miss_cycles(
+                        self.local_latency_ns[home],
+                        imc_mult[home],
+                        hop,
+                        qpi_mult[pair],
+                    );
+            }
+
+            // Outstanding misses overlap: each miss (and L3 hit) stalls the
+            // core for latency / MLP cycles on average.
+            let mlp = u.profile.mlp.max(1.0);
+            let cpi = u.profile.base_cpi
+                + refs_per_instr
+                    * ((1.0 - m) * self.latency.llc_hit_cycles + m * miss_cycles)
+                    / mlp;
+            let usable_us = (quantum_us * u.runtime_share - u.overhead_us).max(0.0);
+            let cycles = usable_us * self.freq_mhz as f64;
+            let instructions = (cycles / cpi).floor().max(0.0) as u64;
+            let llc_refs = (instructions as f64 * refs_per_instr).round() as u64;
+            let llc_misses = (llc_refs as f64 * m).round() as u64;
+
+            let mut node_accesses = vec![0u64; self.num_nodes];
+            let mut assigned = 0u64;
+            for (home, &frac) in u.profile.node_access_dist.iter().enumerate() {
+                let c = (llc_misses as f64 * frac).floor() as u64;
+                node_accesses[home] = c;
+                assigned += c;
+            }
+            // Give rounding remainder to the run node (arbitrary but local).
+            node_accesses[run_node] += llc_misses - assigned;
+
+            let local_accesses = node_accesses[run_node];
+            let remote_accesses = llc_misses - local_accesses;
+
+            // Accumulate demand. Each miss moves more than its demand line
+            // (prefetch, writeback); remote misses additionally tax the
+            // home IMC with coherence work and cross the interconnect.
+            let _ = self.line_bytes;
+            for (home, &c) in node_accesses.iter().enumerate() {
+                let bytes = c as f64 * self.params.traffic_per_miss_bytes;
+                if home != run_node {
+                    node_demand_bytes[home] += bytes * self.params.remote_imc_overhead;
+                    pair_traffic_bytes[run_node * self.num_nodes + home] += bytes;
+                    pair_traffic_bytes[home * self.num_nodes + run_node] += bytes;
+                } else {
+                    node_demand_bytes[home] += bytes;
+                }
+            }
+
+            results.push(VcpuQuantumResult {
+                key: u.key,
+                instructions,
+                llc_refs,
+                llc_misses,
+                local_accesses,
+                remote_accesses,
+                node_accesses,
+                effective_cpi: cpi,
+                miss_rate: m,
+            });
+        }
+        results
+    }
+}
+
+/// Damped fixed-point iterations per quantum: enough for convergence at
+/// the queueing knee, cheap enough to run every quantum.
+const FIXED_POINT_ROUNDS: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topo::presets;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn engine() -> MemoryEngine {
+        MemoryEngine::new(&presets::xeon_e5620())
+    }
+
+    fn quantum() -> SimDuration {
+        SimDuration::from_millis(1)
+    }
+
+    fn profile(rpti: f64, ws_mb: u64, dist: Vec<f64>) -> AccessProfile {
+        AccessProfile {
+            rpti,
+            base_cpi: 1.0,
+            miss_curve: MissCurve::new(0.05, 0.6, ws_mb * MB),
+            mlp: 1.0,
+            node_access_dist: dist,
+        }
+    }
+
+    fn usage(key: u64, node: u16, p: AccessProfile) -> QuantumUsage {
+        QuantumUsage {
+            key,
+            node: NodeId::new(node),
+            runtime_share: 1.0,
+            profile: p,
+            cold_miss_boost: 1.0,
+            overhead_us: 0.0,
+        }
+    }
+
+    #[test]
+    fn cpu_only_workload_runs_at_base_cpi() {
+        let mut e = engine();
+        let p = AccessProfile::cpu_only(1.0, 2);
+        let r = e.step(quantum(), &[usage(1, 0, p)]);
+        // 1 ms at 2400 MHz and CPI 1 => 2.4 M instructions.
+        assert_eq!(r[0].instructions, 2_400_000);
+        assert_eq!(r[0].llc_refs, 0);
+        assert_eq!(r[0].llc_misses, 0);
+    }
+
+    #[test]
+    fn local_beats_remote() {
+        let mut e = engine();
+        let local = e.step(
+            quantum(),
+            &[usage(1, 0, profile(20.0, 64, vec![1.0, 0.0]))],
+        )[0]
+            .instructions;
+        let mut e = engine();
+        let remote = e.step(
+            quantum(),
+            &[usage(1, 1, profile(20.0, 64, vec![1.0, 0.0]))],
+        )[0]
+            .instructions;
+        assert!(
+            local as f64 > remote as f64 * 1.05,
+            "local={local} remote={remote}"
+        );
+    }
+
+    #[test]
+    fn remote_accesses_follow_distribution() {
+        let mut e = engine();
+        let r = &e.step(
+            quantum(),
+            &[usage(1, 0, profile(20.0, 64, vec![0.25, 0.75]))],
+        )[0];
+        assert!(r.llc_misses > 0);
+        let remote_frac = r.remote_accesses as f64 / r.llc_misses as f64;
+        assert!((remote_frac - 0.75).abs() < 0.01, "remote_frac={remote_frac}");
+        assert_eq!(
+            r.node_accesses.iter().sum::<u64>(),
+            r.llc_misses,
+            "per-node accesses must sum to misses"
+        );
+    }
+
+    #[test]
+    fn llc_contention_slows_fitting_workload() {
+        // A fitting workload alone on node0 vs sharing node0 with thrashers.
+        let fit = profile(15.0, 6, vec![1.0, 0.0]);
+        let thrash = AccessProfile {
+            rpti: 22.0,
+            base_cpi: 1.0,
+            miss_curve: MissCurve::new(0.5, 0.7, 64 * MB),
+            mlp: 1.0,
+            node_access_dist: vec![1.0, 0.0],
+        };
+        let mut e = engine();
+        let alone = e.step(quantum(), &[usage(1, 0, fit.clone())])[0].instructions;
+        let mut e = engine();
+        let shared = e.step(
+            quantum(),
+            &[
+                usage(1, 0, fit),
+                usage(2, 0, thrash.clone()),
+                usage(3, 0, thrash),
+            ],
+        )[0]
+            .instructions;
+        assert!(
+            alone as f64 > shared as f64 * 1.2,
+            "alone={alone} shared={shared}"
+        );
+    }
+
+    #[test]
+    fn contention_state_lags_one_quantum() {
+        let mut e = engine();
+        let heavy = profile(30.0, 128, vec![1.0, 0.0]);
+        assert_eq!(e.contention().imc_multiplier, vec![1.0, 1.0]);
+        e.step(
+            quantum(),
+            &[
+                usage(1, 0, heavy.clone()),
+                usage(2, 0, heavy.clone()),
+                usage(3, 0, heavy.clone()),
+                usage(4, 0, heavy.clone()),
+            ],
+        );
+        let snap = e.contention();
+        assert!(snap.imc_multiplier[0] > 1.0, "imc should be loaded: {snap:?}");
+        assert_eq!(snap.imc_multiplier[1], 1.0);
+    }
+
+    #[test]
+    fn qpi_contention_builds_from_remote_traffic() {
+        let mut e = engine();
+        // Four VCPUs on node1 all hitting node0 memory.
+        let p = profile(30.0, 128, vec![1.0, 0.0]);
+        let usages: Vec<_> = (0..4).map(|i| usage(i, 1, p.clone())).collect();
+        e.step(quantum(), &usages);
+        let snap = e.contention();
+        assert!(snap.qpi_multiplier[1] > 1.0, "qpi loaded: {snap:?}");
+    }
+
+    #[test]
+    fn overhead_reduces_instructions() {
+        let mut e = engine();
+        let p = AccessProfile::cpu_only(1.0, 2);
+        let mut u = usage(1, 0, p);
+        u.overhead_us = 500.0; // half the quantum
+        let r = e.step(quantum(), &[u]);
+        assert_eq!(r[0].instructions, 1_200_000);
+    }
+
+    #[test]
+    fn overhead_larger_than_quantum_yields_zero() {
+        let mut e = engine();
+        let mut u = usage(1, 0, AccessProfile::cpu_only(1.0, 2));
+        u.overhead_us = 5_000.0;
+        let r = e.step(quantum(), &[u]);
+        assert_eq!(r[0].instructions, 0);
+    }
+
+    #[test]
+    fn cold_boost_raises_miss_rate_up_to_max() {
+        let fit = profile(15.0, 6, vec![1.0, 0.0]);
+        let mut e = engine();
+        let warm = e.step(quantum(), &[usage(1, 0, fit.clone())])[0].miss_rate;
+        let mut e = engine();
+        let mut u = usage(1, 0, fit);
+        u.cold_miss_boost = 4.0;
+        let cold = e.step(quantum(), &[u])[0].miss_rate;
+        assert!(cold > warm);
+        assert!(cold <= 0.6 + 1e-12, "clamped to max_miss");
+    }
+
+    #[test]
+    fn runtime_share_scales_output() {
+        let mut e = engine();
+        let p = AccessProfile::cpu_only(1.0, 2);
+        let mut u = usage(1, 0, p);
+        u.runtime_share = 0.5;
+        let r = e.step(quantum(), &[u]);
+        assert_eq!(r[0].instructions, 1_200_000);
+    }
+
+    #[test]
+    fn empty_step_is_fine() {
+        let mut e = engine();
+        assert!(e.step(quantum(), &[]).is_empty());
+        assert_eq!(e.contention().imc_multiplier, vec![1.0, 1.0]);
+    }
+}

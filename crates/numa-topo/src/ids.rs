@@ -1,0 +1,100 @@
+//! Strongly typed identifiers.
+//!
+//! The simulator juggles four id spaces — NUMA nodes, physical CPUs,
+//! virtual machines, and virtual CPUs — that are all small dense integers.
+//! Newtypes keep them from being mixed up at compile time; all are `u16`
+//! (or `u32` for VCPUs) to keep hot scheduler structures small.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name($repr);
+
+        impl $name {
+            pub const fn new(raw: $repr) -> Self {
+                $name(raw)
+            }
+
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// Index into dense per-entity arrays.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            pub fn from_index(i: usize) -> Self {
+                $name(i as $repr)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A NUMA node (socket, in the paper's two-socket testbed).
+    NodeId,
+    u16,
+    "node"
+);
+define_id!(
+    /// A physical CPU core.
+    PcpuId,
+    u16,
+    "pcpu"
+);
+define_id!(
+    /// A virtual machine (Xen domain).
+    VmId,
+    u16,
+    "vm"
+);
+define_id!(
+    /// A virtual CPU, unique across all VMs.
+    VcpuId,
+    u32,
+    "vcpu"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trip_raw_and_index() {
+        let n = NodeId::new(3);
+        assert_eq!(n.raw(), 3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(NodeId::from_index(3), n);
+        let v = VcpuId::new(100_000);
+        assert_eq!(v.index(), 100_000);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId::new(1).to_string(), "node1");
+        assert_eq!(PcpuId::new(7).to_string(), "pcpu7");
+        assert_eq!(VmId::new(2).to_string(), "vm2");
+        assert_eq!(VcpuId::new(9).to_string(), "vcpu9");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let set: HashSet<PcpuId> = (0..4).map(PcpuId::new).collect();
+        assert_eq!(set.len(), 4);
+        assert!(PcpuId::new(1) < PcpuId::new(2));
+    }
+}

@@ -1,0 +1,59 @@
+//! Inter-node interconnect links (QPI on the paper's machine).
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A bidirectional point-to-point link between two NUMA nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectLink {
+    pub name: String,
+    pub a: NodeId,
+    pub b: NodeId,
+    /// Usable bandwidth in bytes/second per direction.
+    pub bandwidth_bytes_per_s: u64,
+    /// Extra latency a remote access pays for crossing this link, in
+    /// nanoseconds, with an idle link. Contention multiplies this.
+    pub hop_latency_ns: f64,
+}
+
+impl InterconnectLink {
+    /// A Table I QPI link: 5.86 GT/s. QPI moves 2 bytes per transfer per
+    /// direction, so usable data bandwidth is ~11.72 GB/s per direction.
+    pub fn qpi_5_86(name: impl Into<String>, a: NodeId, b: NodeId) -> Self {
+        InterconnectLink {
+            name: name.into(),
+            a,
+            b,
+            bandwidth_bytes_per_s: 11_720_000_000,
+            // Measured remote-minus-local latency on Nehalem-EP class
+            // parts makes remote ~2x local (65 ns local vs ~130 ns remote).
+            hop_latency_ns: 75.0,
+        }
+    }
+
+    /// Whether this link joins the (unordered) pair `{x, y}`.
+    pub fn connects(&self, x: NodeId, y: NodeId) -> bool {
+        x != y && ((self.a == x && self.b == y) || (self.a == y && self.b == x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qpi_preset_bandwidth() {
+        let l = InterconnectLink::qpi_5_86("qpi0", NodeId::new(0), NodeId::new(1));
+        assert_eq!(l.bandwidth_bytes_per_s, 11_720_000_000);
+        assert!(l.hop_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn connects_is_unordered_and_irreflexive() {
+        let l = InterconnectLink::qpi_5_86("qpi0", NodeId::new(0), NodeId::new(1));
+        assert!(l.connects(NodeId::new(0), NodeId::new(1)));
+        assert!(l.connects(NodeId::new(1), NodeId::new(0)));
+        assert!(!l.connects(NodeId::new(0), NodeId::new(0)));
+        assert!(!l.connects(NodeId::new(0), NodeId::new(2)));
+    }
+}

@@ -1,0 +1,46 @@
+//! Per-node hardware configuration.
+
+use crate::cache::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of one NUMA node: its memory, integrated memory
+/// controller (IMC), and the last-level cache shared by its cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Local DRAM capacity in bytes.
+    pub mem_bytes: u64,
+    /// Peak IMC bandwidth in bytes/second (25.6 GB/s in Table I).
+    pub imc_bandwidth_bytes_per_s: u64,
+    /// The node's shared LLC.
+    pub llc: CacheConfig,
+    /// Load-to-use latency of a local DRAM access, in nanoseconds, with an
+    /// idle memory system. Contention multiplies this.
+    pub local_latency_ns: f64,
+}
+
+impl NodeConfig {
+    /// One node of the Table I machine: 12 GB DRAM, 25.6 GB/s IMC, 12 MB L3.
+    pub fn e5620_node() -> Self {
+        NodeConfig {
+            mem_bytes: 12 * 1024 * 1024 * 1024,
+            imc_bandwidth_bytes_per_s: 25_600_000_000,
+            llc: CacheConfig::e5620_l3(),
+            // Typical measured local load latency on Nehalem-EP class parts.
+            local_latency_ns: 65.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5620_node_matches_table1() {
+        let n = NodeConfig::e5620_node();
+        assert_eq!(n.mem_bytes, 12 << 30);
+        assert_eq!(n.imc_bandwidth_bytes_per_s, 25_600_000_000);
+        assert_eq!(n.llc.level, 3);
+        assert!(n.local_latency_ns > 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-VCPU hardware counter state.
+
+use serde::{Deserialize, Serialize};
+use sim_core::Counter;
+
+/// The counter set vProbe reads for one VCPU.
+///
+/// `node_accesses[i]` is the number of memory accesses served by node `i`
+/// — the simulation stand-in for the paper's `N(vc, i)` "pages accessed in
+/// the i-th node" (an access count over a period is proportional to touched
+/// pages for the steady workloads evaluated).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VcpuPmu {
+    instructions: Counter,
+    llc_refs: Counter,
+    llc_misses: Counter,
+    local_accesses: Counter,
+    remote_accesses: Counter,
+    node_accesses: Vec<Counter>,
+}
+
+/// A windowed reading taken at the end of a sampling period.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PmuSample {
+    pub instructions: u64,
+    pub llc_refs: u64,
+    pub llc_misses: u64,
+    pub local_accesses: u64,
+    pub remote_accesses: u64,
+    pub node_accesses: Vec<u64>,
+}
+
+impl PmuSample {
+    /// LLC references per thousand instructions — the paper's Eq. (2) with
+    /// α = 1000. Returns 0 for an idle window.
+    pub fn llc_access_pressure(&self, alpha: f64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_refs as f64 / self.instructions as f64 * alpha
+        }
+    }
+
+    /// The node holding the most accessed pages — the paper's Eq. (1)
+    /// memory node affinity. Ties break toward the lower node id; returns
+    /// `None` if the VCPU touched no memory this period.
+    pub fn memory_node_affinity(&self) -> Option<usize> {
+        let max = *self.node_accesses.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        self.node_accesses.iter().position(|&c| c == max)
+    }
+
+    /// Fraction of accesses that were remote; 0 for an idle window.
+    pub fn remote_ratio(&self) -> f64 {
+        let total = self.local_accesses + self.remote_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_accesses as f64 / total as f64
+        }
+    }
+
+    /// LLC miss rate over the window; 0 if there were no references.
+    pub fn miss_rate(&self) -> f64 {
+        if self.llc_refs == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.llc_refs as f64
+        }
+    }
+}
+
+impl VcpuPmu {
+    pub fn new(num_nodes: usize) -> Self {
+        VcpuPmu {
+            node_accesses: vec![Counter::new(); num_nodes],
+            ..Default::default()
+        }
+    }
+
+    /// Record one quantum's execution results.
+    pub fn record(
+        &mut self,
+        instructions: u64,
+        llc_refs: u64,
+        llc_misses: u64,
+        local: u64,
+        remote: u64,
+        node_accesses: &[u64],
+    ) {
+        debug_assert_eq!(node_accesses.len(), self.node_accesses.len());
+        self.instructions.add(instructions);
+        self.llc_refs.add(llc_refs);
+        self.llc_misses.add(llc_misses);
+        self.local_accesses.add(local);
+        self.remote_accesses.add(remote);
+        for (c, &n) in self.node_accesses.iter_mut().zip(node_accesses) {
+            c.add(n);
+        }
+    }
+
+    /// Read the current window without closing it.
+    pub fn peek_window(&self) -> PmuSample {
+        PmuSample {
+            instructions: self.instructions.window(),
+            llc_refs: self.llc_refs.window(),
+            llc_misses: self.llc_misses.window(),
+            local_accesses: self.local_accesses.window(),
+            remote_accesses: self.remote_accesses.window(),
+            node_accesses: self.node_accesses.iter().map(|c| c.window()).collect(),
+        }
+    }
+
+    /// Read and close the window (end of sampling period).
+    pub fn sample_window(&mut self) -> PmuSample {
+        let s = self.peek_window();
+        self.instructions.reset_window();
+        self.llc_refs.reset_window();
+        self.llc_misses.reset_window();
+        self.local_accesses.reset_window();
+        self.remote_accesses.reset_window();
+        for c in &mut self.node_accesses {
+            c.reset_window();
+        }
+        s
+    }
+
+    /// Whole-run totals (never reset) for end-of-experiment metrics.
+    pub fn totals(&self) -> PmuSample {
+        PmuSample {
+            instructions: self.instructions.total(),
+            llc_refs: self.llc_refs.total(),
+            llc_misses: self.llc_misses.total(),
+            local_accesses: self.local_accesses.total(),
+            remote_accesses: self.remote_accesses.total(),
+            node_accesses: self.node_accesses.iter().map(|c| c.total()).collect(),
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.node_accesses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorded() -> VcpuPmu {
+        let mut p = VcpuPmu::new(2);
+        p.record(1_000_000, 20_000, 10_000, 2_000, 8_000, &[2_000, 8_000]);
+        p
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let p = recorded();
+        let s = p.peek_window();
+        assert_eq!(s.instructions, 1_000_000);
+        assert_eq!(s.llc_refs, 20_000);
+        assert_eq!(s.node_accesses, vec![2_000, 8_000]);
+    }
+
+    #[test]
+    fn sample_window_resets_window_not_totals() {
+        let mut p = recorded();
+        let s1 = p.sample_window();
+        assert_eq!(s1.instructions, 1_000_000);
+        assert_eq!(p.peek_window().instructions, 0);
+        p.record(500, 10, 5, 1, 4, &[1, 4]);
+        assert_eq!(p.peek_window().instructions, 500);
+        assert_eq!(p.totals().instructions, 1_000_500);
+    }
+
+    #[test]
+    fn llc_access_pressure_matches_eq2() {
+        let s = recorded().peek_window();
+        // 20k refs / 1M instr * 1000 = 20 RPTI.
+        assert!((s.llc_access_pressure(1_000.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pressure_zero_when_idle() {
+        let p = VcpuPmu::new(2);
+        assert_eq!(p.peek_window().llc_access_pressure(1_000.0), 0.0);
+    }
+
+    #[test]
+    fn affinity_is_argmax_node() {
+        let s = recorded().peek_window();
+        assert_eq!(s.memory_node_affinity(), Some(1));
+    }
+
+    #[test]
+    fn affinity_none_without_accesses() {
+        let mut p = VcpuPmu::new(3);
+        p.record(100, 0, 0, 0, 0, &[0, 0, 0]);
+        assert_eq!(p.peek_window().memory_node_affinity(), None);
+    }
+
+    #[test]
+    fn affinity_tie_breaks_low_id() {
+        let mut p = VcpuPmu::new(2);
+        p.record(100, 10, 10, 5, 5, &[5, 5]);
+        assert_eq!(p.peek_window().memory_node_affinity(), Some(0));
+    }
+
+    #[test]
+    fn remote_ratio_and_miss_rate() {
+        let s = recorded().peek_window();
+        assert!((s.remote_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+        let idle = VcpuPmu::new(2).peek_window();
+        assert_eq!(idle.remote_ratio(), 0.0);
+        assert_eq!(idle.miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Virtualized performance monitoring units.
+//!
+//! The paper patches Xen with Perfctr-Xen to read hardware counters per
+//! VCPU: LLC references, retired instructions, and the number of local and
+//! remote memory accesses (from which per-node page-access counts are
+//! derived). This crate is the simulation equivalent: the hypervisor feeds
+//! each VCPU's per-quantum execution results into a [`VcpuPmu`], and the
+//! PMU data analyzer reads *windowed* values at the end of each sampling
+//! period, exactly like the prototype ("a running VCPU's runtime
+//! information is updated before VCPU context switch or every 10 ms").
+//!
+//! Collection cost is modeled explicitly by [`overhead::OverheadModel`] so
+//! that Table III ("overhead time" below 0.1 %) can be reproduced rather
+//! than asserted.
+
+pub mod counters;
+pub mod overhead;
+pub mod sampler;
+
+pub use counters::{PmuSample, VcpuPmu};
+pub use overhead::{OverheadModel, OverheadTracker};
+pub use sampler::PeriodSampler;

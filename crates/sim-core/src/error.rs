@@ -1,0 +1,53 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised while constructing or running a simulation.
+///
+/// Construction-time validation (topology, VM configuration, workload
+/// parameters) returns these rather than panicking, so library callers get
+/// actionable diagnostics; internal invariant violations still use
+/// `debug_assert!`/`panic!` as they indicate bugs, not bad input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A topology description was internally inconsistent.
+    InvalidTopology(String),
+    /// A VM/VCPU/workload configuration was rejected.
+    InvalidConfig(String),
+    /// A named entity (workload profile, scheduler, experiment) is unknown.
+    UnknownName(String),
+    /// Requested resources exceed what the machine provides.
+    ResourceExhausted(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::UnknownName(name) => write!(f, "unknown name: {name}"),
+            SimError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = SimError::InvalidTopology("zero nodes".into());
+        assert_eq!(e.to_string(), "invalid topology: zero nodes");
+        let e = SimError::UnknownName("soplexx".into());
+        assert!(e.to_string().contains("soplexx"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(SimError::InvalidConfig("x".into()));
+    }
+}

@@ -1,0 +1,25 @@
+//! Simulation substrate shared by every other crate in the vProbe workspace.
+//!
+//! This crate deliberately knows nothing about NUMA, Xen, or scheduling. It
+//! provides the three things a deterministic discrete-time simulation needs:
+//!
+//! * a [`clock`] with explicit microsecond resolution ([`SimTime`],
+//!   [`SimDuration`]) so that sampling periods, credit ticks, and quanta
+//!   never suffer floating-point drift;
+//! * a seedable, forkable random-number source ([`rng::SimRng`]) so that a
+//!   whole experiment is reproducible from a single `u64` seed while every
+//!   subsystem still gets an independent stream;
+//! * lightweight statistics ([`stats`]) and time-series ([`series`])
+//!   containers used to collect experiment results.
+
+pub mod clock;
+pub mod error;
+pub mod rng;
+pub mod series;
+pub mod stats;
+
+pub use clock::{Clock, SimDuration, SimTime};
+pub use error::SimError;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use stats::{Counter, Histogram, RunningStats};

@@ -1,0 +1,114 @@
+//! Time-stamped measurement series.
+
+use crate::clock::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// An append-only series of `(time, value)` points, used to record per-period
+/// measurements (remote-access ratio over time, throughput curves, …).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Append a point. Panics (debug) if time regresses: series are expected
+    /// to be recorded in simulation order.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(last, _)| last <= t),
+            "time series must be appended in order"
+        );
+        self.points.push((t, v));
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, v)| v)
+    }
+
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.values().sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Mean over the suffix of points with `t >= from`, used to skip warmup.
+    pub fn mean_after(&self, from: SimTime) -> f64 {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn push_and_read() {
+        let mut s = TimeSeries::new();
+        assert!(s.is_empty());
+        s.push(t(1), 1.0);
+        s.push(t(2), 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some((t(2), 3.0)));
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn mean_after_skips_warmup() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 100.0);
+        s.push(t(10), 2.0);
+        s.push(t(20), 4.0);
+        assert_eq!(s.mean_after(t(10)), 3.0);
+        assert_eq!(s.mean_after(t(100)), 0.0);
+    }
+
+    #[test]
+    fn empty_series_mean_is_zero() {
+        assert_eq!(TimeSeries::new().mean(), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "appended in order")]
+    fn out_of_order_push_panics_in_debug() {
+        let mut s = TimeSeries::new();
+        s.push(t(5), 1.0);
+        s.push(t(1), 2.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! The "hungry loop" CPU burner.
+//!
+//! The paper's VM3 runs eight hungry-loop applications purely to consume
+//! available CPU resources (§II-B, §V-A). They keep every PCPU busy so the
+//! Credit scheduler's load balancing constantly migrates the
+//! memory-intensive VCPUs — the interference that motivates vProbe.
+
+use crate::spec::{LlcClass, Suite, WorkloadSpec, MB};
+use mem_model::MissCurve;
+
+/// A tight arithmetic loop: negligible memory traffic, low CPI.
+pub fn hungry_loop() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "hungry".into(),
+        suite: Suite::Micro,
+        expected_class: LlcClass::Friendly,
+        rpti: 0.05,
+        base_cpi: 0.6,
+        miss_curve: MissCurve::new(0.01, 0.02, MB / 4),
+        mlp: 1.0,
+        footprint_bytes: 8 * MB,
+        shared_frac: 0.0,
+        threads: 1,
+        instr_per_op: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hungry_is_llc_friendly() {
+        let w = hungry_loop();
+        assert_eq!(w.classify(3.0, 20.0), LlcClass::Friendly);
+        assert!(w.rpti < 1.0);
+        assert!(w.solo_miss_rate(12 * MB) < 0.02);
+    }
+}

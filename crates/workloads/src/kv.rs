@@ -1,0 +1,156 @@
+//! Key-value server models: memcached (driven by memslap) and redis
+//! (driven by redis-benchmark).
+//!
+//! The paper's Figs. 6 and 7 sweep offered load — memslap concurrency 16 to
+//! 112, redis parallel connections 2 000 to 10 000 — and measure completion
+//! time (memcached) or throughput (redis). For a scheduler study the
+//! relevant effect of load is on *memory behaviour*: more in-flight
+//! requests touch more of the hash table per unit time, so LLC intensity
+//! and the hot working set grow with concurrency, sliding the servers from
+//! LLC-fitting toward LLC-thrashing. That is exactly why the paper finds
+//! LB beats VCPU-P at low memcached concurrency (remote latency dominates)
+//! but VCPU-P wins at high concurrency (LLC contention dominates).
+
+use crate::spec::{LlcClass, Suite, WorkloadSpec, MB};
+use mem_model::MissCurve;
+
+/// The memslap concurrency levels of Fig. 6.
+pub const MEMCACHED_CONCURRENCIES: [u32; 7] = [16, 32, 48, 64, 80, 96, 112];
+
+/// The redis-benchmark connection counts of Fig. 7.
+pub const REDIS_CONNECTIONS: [u32; 5] = [2_000, 4_000, 6_000, 8_000, 10_000];
+
+/// Operations memslap issues per run in the paper (50 000 executions).
+pub const MEMSLAP_OPS: u64 = 50_000;
+
+/// A memcached server worker thread under `concurrency` concurrent calls.
+///
+/// Eight worker ports per server as in the paper's setup.
+pub fn memcached(concurrency: u32) -> WorkloadSpec {
+    assert!(concurrency > 0, "concurrency must be positive");
+    let c = concurrency as f64;
+    // Intensity grows with offered load and saturates: at c=16 the server
+    // is fitting (RPTI ~10); by c=80+ it behaves like a thrasher (~21).
+    let rpti = 8.0 + 12.0 * (c / (c + 40.0)) * 1.55;
+    let ws = (4.0 + 0.16 * c) * MB as f64;
+    WorkloadSpec {
+        name: format!("memcached-c{concurrency}"),
+        suite: Suite::KeyValue,
+        expected_class: if rpti >= 20.0 {
+            LlcClass::Thrashing
+        } else {
+            LlcClass::Fitting
+        },
+        rpti,
+        base_cpi: 1.1,
+        miss_curve: MissCurve::new(0.10, 0.80, ws as u64),
+        // Hash-table chasing: modest overlap.
+        mlp: 2.0,
+        footprint_bytes: 2_048 * MB,
+        // The hash table is shared among all worker threads.
+        shared_frac: 0.6,
+        threads: 8,
+        instr_per_op: Some(40_000.0),
+    }
+}
+
+/// A redis server instance under `connections` parallel connections.
+///
+/// Four server processes per VM as in the paper's setup. Redis is
+/// single-threaded per instance and strongly memory-bound on GET floods.
+pub fn redis(connections: u32) -> WorkloadSpec {
+    assert!(connections > 0, "connections must be positive");
+    let k = connections as f64 / 1_000.0;
+    let rpti = 17.5 + 0.55 * k; // 18.6 at 2k .. 23.0 at 10k
+    let ws = (10.0 + 1.2 * k) * MB as f64;
+    WorkloadSpec {
+        name: format!("redis-k{connections}"),
+        suite: Suite::KeyValue,
+        expected_class: if rpti >= 20.0 {
+            LlcClass::Thrashing
+        } else {
+            LlcClass::Fitting
+        },
+        rpti,
+        base_cpi: 1.0,
+        miss_curve: MissCurve::new(0.30, 0.85, ws as u64),
+        mlp: 2.0,
+        footprint_bytes: 3_072 * MB,
+        shared_frac: 0.3,
+        threads: 4,
+        instr_per_op: Some(25_000.0),
+    }
+}
+
+/// Convert an achieved instruction rate (instructions per second across
+/// all server threads) into request throughput (ops/second).
+pub fn ops_per_second(spec: &WorkloadSpec, instr_per_s: f64) -> f64 {
+    let per_op = spec
+        .instr_per_op
+        .expect("server workloads define instr_per_op");
+    instr_per_s / per_op
+}
+
+/// Time to complete `ops` requests at the given instruction rate, seconds.
+pub fn completion_time_s(spec: &WorkloadSpec, instr_per_s: f64, ops: u64) -> f64 {
+    assert!(instr_per_s > 0.0, "rate must be positive");
+    ops as f64 / ops_per_second(spec, instr_per_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcached_intensity_grows_with_concurrency() {
+        let mut prev = 0.0;
+        for c in MEMCACHED_CONCURRENCIES {
+            let w = memcached(c);
+            assert!(w.rpti > prev, "rpti must grow with concurrency");
+            prev = w.rpti;
+        }
+    }
+
+    #[test]
+    fn memcached_crosses_into_thrashing_at_high_load() {
+        assert_eq!(memcached(16).classify(3.0, 20.0), LlcClass::Fitting);
+        assert_eq!(memcached(112).classify(3.0, 20.0), LlcClass::Thrashing);
+    }
+
+    #[test]
+    fn redis_is_memory_intensive_at_every_level() {
+        for k in REDIS_CONNECTIONS {
+            let w = redis(k);
+            assert!(w.rpti >= 18.0, "redis-{k} rpti={}", w.rpti);
+            assert!(w.classify(3.0, 20.0) != LlcClass::Friendly);
+        }
+    }
+
+    #[test]
+    fn redis_intensity_grows_with_connections() {
+        assert!(redis(10_000).rpti > redis(2_000).rpti);
+        assert!(redis(10_000).miss_curve.ws_bytes > redis(2_000).miss_curve.ws_bytes);
+    }
+
+    #[test]
+    fn throughput_conversion() {
+        let w = redis(2_000);
+        let rate = 2.5e9; // instructions/s
+        let tput = ops_per_second(&w, rate);
+        assert!((tput - 1e5).abs() < 1.0, "tput={tput}");
+        let t = completion_time_s(&w, rate, 200_000);
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrency")]
+    fn zero_concurrency_rejected() {
+        memcached(0);
+    }
+
+    #[test]
+    fn worker_thread_counts_match_paper_setup() {
+        assert_eq!(memcached(16).threads, 8, "eight working ports");
+        assert_eq!(redis(2_000).threads, 4, "four redis servers");
+    }
+}

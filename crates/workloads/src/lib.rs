@@ -1,0 +1,36 @@
+//! Synthetic application models.
+//!
+//! The paper evaluates vProbe with SPEC CPU2006 programs (soplex,
+//! libquantum, mcf, milc, plus povray as the LLC-friendly control), NAS
+//! Parallel Benchmarks (bt, cg, ep, lu, mg, sp), memcached driven by
+//! memslap, redis driven by redis-benchmark, and a "hungry loop"
+//! CPU-burner. None of those binaries can run inside a scheduler
+//! simulation, so each is modeled by the characteristics the schedulers
+//! actually react to:
+//!
+//! * **RPTI** — LLC references per thousand instructions, taken from the
+//!   paper's Fig. 3(b) where reported (povray 0.48, ep 2.01, lu 15.38,
+//!   mg 16.33, milc 21.68, libquantum 22.41) and from published
+//!   characterization studies otherwise;
+//! * a **miss-rate curve** (working-set size and min/max miss rates)
+//!   placing each program in the paper's LLC-friendly / fitting /
+//!   thrashing taxonomy, consistent with Fig. 3(a);
+//! * **base CPI** and memory **footprint**;
+//! * for the server workloads, a per-request instruction cost and a
+//!   concurrency-dependent intensity model.
+//!
+//! [`spec::WorkloadSpec`] is the static description;
+//! [`spec::WorkloadSpec::access_profile`] instantiates it against a VM's
+//! memory layout to produce the [`mem_model::AccessProfile`] the execution
+//! engine consumes.
+
+pub mod hungry;
+pub mod kv;
+pub mod npb;
+pub mod phases;
+pub mod registry;
+pub mod spec;
+pub mod speccpu;
+
+pub use registry::{all_specs, by_name};
+pub use spec::{LlcClass, Suite, WorkloadSpec};

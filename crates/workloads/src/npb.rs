@@ -1,0 +1,204 @@
+//! NAS Parallel Benchmark models (class C scale, four-threaded as in the
+//! paper's Fig. 5 experiments).
+//!
+//! lu, mg, and ep RPTI values come from the paper's Fig. 3(b); bt, cg, and
+//! sp use values consistent with published NPB memory characterizations
+//! (cg and sp are the memory-bound members; bt is intermediate).
+
+use crate::spec::{LlcClass, Suite, WorkloadSpec, MB};
+use mem_model::MissCurve;
+
+fn npb(
+    name: &str,
+    class: LlcClass,
+    rpti: f64,
+    base_cpi: f64,
+    curve: MissCurve,
+    mlp: f64,
+    footprint_mb: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.into(),
+        suite: Suite::Npb,
+        expected_class: class,
+        rpti,
+        base_cpi,
+        miss_curve: curve,
+        mlp,
+        footprint_bytes: footprint_mb * MB,
+        // MPI/OpenMP workers exchange boundary data: noticeable shared slice.
+        shared_frac: 0.20,
+        threads: 4,
+        instr_per_op: None,
+    }
+}
+
+/// BT — block tridiagonal solver; moderate LLC pressure, fitting.
+pub fn bt() -> WorkloadSpec {
+    npb(
+        "bt",
+        LlcClass::Fitting,
+        13.5,
+        1.0,
+        MissCurve::new(0.08, 0.80, 7 * MB),
+        3.0,
+        700,
+    )
+}
+
+/// CG — conjugate gradient; irregular sparse accesses, thrashing.
+pub fn cg() -> WorkloadSpec {
+    npb(
+        "cg",
+        LlcClass::Thrashing,
+        23.0,
+        1.1,
+        MissCurve::new(0.60, 0.92, 40 * MB),
+        2.0,
+        900,
+    )
+}
+
+/// EP — embarrassingly parallel; nearly no memory traffic (Fig. 3:
+/// RPTI 2.01). The LLC-friendly control.
+pub fn ep() -> WorkloadSpec {
+    npb(
+        "ep",
+        LlcClass::Friendly,
+        2.01,
+        0.9,
+        MissCurve::new(0.02, 0.05, MB),
+        2.0,
+        30,
+    )
+}
+
+/// LU — LU factorization; fitting (Fig. 3: RPTI 15.38).
+pub fn lu() -> WorkloadSpec {
+    npb(
+        "lu",
+        LlcClass::Fitting,
+        15.38,
+        1.0,
+        MissCurve::new(0.10, 0.85, 6 * MB),
+        3.0,
+        600,
+    )
+}
+
+/// MG — multigrid; fitting (Fig. 3: RPTI 16.33).
+pub fn mg() -> WorkloadSpec {
+    npb(
+        "mg",
+        LlcClass::Fitting,
+        16.33,
+        1.0,
+        MissCurve::new(0.12, 0.85, 8 * MB),
+        3.0,
+        3_300,
+    )
+}
+
+/// SP — scalar pentadiagonal solver; the paper's best case for vProbe
+/// (45.2 % over Credit): heavily memory-bound, thrashing.
+pub fn sp() -> WorkloadSpec {
+    npb(
+        "sp",
+        LlcClass::Thrashing,
+        24.0,
+        1.0,
+        MissCurve::new(0.50, 0.90, 30 * MB),
+        3.0,
+        700,
+    )
+}
+
+/// The five memory-intensive programs of the Fig. 5 experiment.
+pub fn fig5_set() -> Vec<WorkloadSpec> {
+    vec![bt(), cg(), lu(), mg(), sp()]
+}
+
+/// FT — 3-D FFT; large all-to-all working set, thrashing with good MLP.
+pub fn ft() -> WorkloadSpec {
+    npb(
+        "ft",
+        LlcClass::Thrashing,
+        21.0,
+        1.0,
+        MissCurve::new(0.55, 0.90, 36 * MB),
+        5.0,
+        1_600,
+    )
+}
+
+/// IS — integer sort; bucketed random access, fitting but steep under
+/// contention.
+pub fn is() -> WorkloadSpec {
+    npb(
+        "is",
+        LlcClass::Fitting,
+        14.0,
+        0.9,
+        MissCurve::new(0.15, 0.85, 9 * MB),
+        3.0,
+        1_000,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_rpti_values_match_paper() {
+        assert!((ep().rpti - 2.01).abs() < 1e-9);
+        assert!((lu().rpti - 15.38).abs() < 1e-9);
+        assert!((mg().rpti - 16.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classes_recovered_by_paper_bounds() {
+        for w in [bt(), cg(), ep(), lu(), mg(), sp()] {
+            assert_eq!(
+                w.classify(3.0, 20.0),
+                w.expected_class,
+                "misclassified {}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn extended_npb_profiles_classify_as_expected() {
+        assert_eq!(ft().classify(3.0, 20.0), LlcClass::Thrashing);
+        assert_eq!(is().classify(3.0, 20.0), LlcClass::Fitting);
+        assert_eq!(ft().threads, 4);
+    }
+
+    #[test]
+    fn all_are_four_threaded_except_nothing() {
+        for w in fig5_set() {
+            assert_eq!(w.threads, 4, "{} should be 4-threaded", w.name);
+        }
+    }
+
+    #[test]
+    fn fitting_programs_fit_the_e5620_llc() {
+        for w in [bt(), lu(), mg()] {
+            assert!(
+                w.miss_curve.ws_bytes <= 12 * MB,
+                "{} working set must fit a 12MB LLC",
+                w.name
+            );
+            assert!(w.solo_miss_rate(12 * MB) < 0.2);
+        }
+    }
+
+    #[test]
+    fn thrashing_programs_exceed_the_llc() {
+        for w in [cg(), sp()] {
+            assert!(w.miss_curve.ws_bytes > 12 * MB);
+            assert!(w.solo_miss_rate(12 * MB) > 0.4);
+        }
+    }
+}

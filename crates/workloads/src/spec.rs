@@ -1,0 +1,141 @@
+//! The static workload description type.
+
+use mem_model::{AccessProfile, MissCurve};
+use serde::{Deserialize, Serialize};
+
+pub const MB: u64 = 1024 * 1024;
+
+/// Which benchmark family a workload comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPEC CPU2006 (single-threaded; the paper runs four identical
+    /// instances per VM).
+    SpecCpu2006,
+    /// NAS Parallel Benchmarks (the paper runs them four-threaded).
+    Npb,
+    /// Request-serving key-value stores (memcached, redis).
+    KeyValue,
+    /// Microbenchmarks (hungry loop).
+    Micro,
+}
+
+/// The paper's VCPU taxonomy (§III-B2), used here to label what class a
+/// workload *should* land in — tests assert the classifier recovers it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LlcClass {
+    /// LLC-friendly: negligible LLC demand.
+    Friendly,
+    /// LLC-fitting: fits when uncontended, degrades under interference.
+    Fitting,
+    /// LLC-thrashing: misses heavily regardless of occupancy.
+    Thrashing,
+}
+
+/// Static behavioural description of one application (one thread/instance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    pub name: String,
+    pub suite: Suite,
+    /// Expected classification on the Table I machine (ground truth for
+    /// classifier tests; the scheduler never reads this).
+    pub expected_class: LlcClass,
+    /// LLC references per thousand instructions.
+    pub rpti: f64,
+    /// Cycles per instruction assuming all LLC hits.
+    pub base_cpi: f64,
+    pub miss_curve: MissCurve,
+    /// Memory-level parallelism (outstanding-miss overlap); see
+    /// `mem_model::AccessProfile::mlp`.
+    pub mlp: f64,
+    /// Resident memory per thread/instance, bytes.
+    pub footprint_bytes: u64,
+    /// Fraction of accesses to VM-shared (vs thread-private) memory.
+    pub shared_frac: f64,
+    /// Natural degree of parallelism (threads for NPB, 1 for SPEC).
+    pub threads: usize,
+    /// Instructions retired per external request, for server workloads.
+    pub instr_per_op: Option<f64>,
+}
+
+impl WorkloadSpec {
+    /// Instantiate against a node-access distribution (from
+    /// `mem_model::VmMemoryLayout::thread_access_distribution`).
+    pub fn access_profile(&self, node_access_dist: Vec<f64>) -> AccessProfile {
+        AccessProfile {
+            rpti: self.rpti,
+            base_cpi: self.base_cpi,
+            miss_curve: self.miss_curve,
+            mlp: self.mlp,
+            node_access_dist,
+        }
+    }
+
+    /// Miss rate this workload would show running alone and pinned on a
+    /// cache of `llc_bytes` — what the paper's Fig. 3(a) experiment
+    /// measures.
+    pub fn solo_miss_rate(&self, llc_bytes: u64) -> f64 {
+        self.miss_curve.solo_miss_rate(llc_bytes)
+    }
+
+    /// Classify by the paper's Eq. (3) bounds (RPTI thresholds).
+    pub fn classify(&self, low: f64, high: f64) -> LlcClass {
+        if self.rpti < low {
+            LlcClass::Friendly
+        } else if self.rpti < high {
+            LlcClass::Fitting
+        } else {
+            LlcClass::Thrashing
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test".into(),
+            suite: Suite::SpecCpu2006,
+            expected_class: LlcClass::Fitting,
+            rpti: 15.0,
+            base_cpi: 1.0,
+            miss_curve: MissCurve::new(0.1, 0.5, 6 * MB),
+            mlp: 4.0,
+            footprint_bytes: 100 * MB,
+            shared_frac: 0.2,
+            threads: 1,
+            instr_per_op: None,
+        }
+    }
+
+    #[test]
+    fn access_profile_carries_parameters() {
+        let p = spec().access_profile(vec![0.5, 0.5]);
+        assert_eq!(p.rpti, 15.0);
+        assert_eq!(p.base_cpi, 1.0);
+        assert_eq!(p.node_access_dist, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn classify_uses_bounds() {
+        let mut w = spec();
+        assert_eq!(w.classify(3.0, 20.0), LlcClass::Fitting);
+        w.rpti = 2.0;
+        assert_eq!(w.classify(3.0, 20.0), LlcClass::Friendly);
+        w.rpti = 25.0;
+        assert_eq!(w.classify(3.0, 20.0), LlcClass::Thrashing);
+        // Boundary cases: low is inclusive for Fitting, high for Thrashing.
+        w.rpti = 3.0;
+        assert_eq!(w.classify(3.0, 20.0), LlcClass::Fitting);
+        w.rpti = 20.0;
+        assert_eq!(w.classify(3.0, 20.0), LlcClass::Thrashing);
+    }
+
+    #[test]
+    fn solo_miss_rate_delegates_to_curve() {
+        let w = spec();
+        assert!((w.solo_miss_rate(12 * MB) - 0.1).abs() < 1e-12);
+        assert!(w.solo_miss_rate(3 * MB) > 0.25);
+    }
+}

@@ -1,0 +1,103 @@
+//! The stock Credit scheduler's NUMA-oblivious load-balance policy.
+//!
+//! Xen's `csched_load_balance` walks peer PCPUs in cpumask order — i.e.
+//! ascending PCPU id from 0 — and steals the first migratable VCPU of
+//! sufficient priority it finds, with no regard for NUMA topology, memory
+//! placement, or cache behaviour. That is precisely the behaviour the
+//! paper's §II-B shows causes heavy remote memory access and unbalanced
+//! LLC contention, and it is the baseline every experiment normalizes to.
+
+use crate::policy::{AnalyzerView, PartitionPlan, SchedPolicy, StealContext};
+use numa_topo::{PcpuId, VcpuId};
+
+/// NUMA-oblivious stealing, no periodic partitioning, no PMU use.
+#[derive(Debug, Clone, Default)]
+pub struct CreditPolicy;
+
+impl CreditPolicy {
+    pub fn new() -> Self {
+        CreditPolicy
+    }
+}
+
+impl SchedPolicy for CreditPolicy {
+    fn name(&self) -> &str {
+        "credit"
+    }
+
+    fn on_sample(&mut self, _view: AnalyzerView<'_>) -> PartitionPlan {
+        PartitionPlan::none()
+    }
+
+    fn steal(&mut self, ctx: StealContext<'_>) -> Option<(PcpuId, VcpuId)> {
+        // Scan victims in PCPU id order (the machine provides them sorted)
+        // and take the first stealable VCPU — head of that queue.
+        for (pcpu, _workload, candidates) in ctx.victims {
+            if let Some(&vcpu) = candidates.first() {
+                return Some((*pcpu, vcpu));
+            }
+        }
+        None
+    }
+
+    fn uses_pmu(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topo::presets;
+
+    #[test]
+    fn steals_first_candidate_in_pcpu_order() {
+        let topo = presets::xeon_e5620();
+        let victims = vec![
+            (PcpuId::new(0), 2, vec![]),
+            (PcpuId::new(2), 3, vec![VcpuId::new(7), VcpuId::new(9)]),
+            (PcpuId::new(5), 5, vec![VcpuId::new(1)]),
+        ];
+        let pressure = vec![0.0; 16];
+        let mut p = CreditPolicy::new();
+        let got = p.steal(StealContext {
+            topo: &topo,
+            idle_pcpu: PcpuId::new(6),
+            victims: &victims,
+            pressure: &pressure,
+            would_idle: true,
+        });
+        // PCPU 2 comes before PCPU 5; head of its queue is vcpu 7 — even
+        // though PCPU 6 (node1) is stealing cross-node from node0.
+        assert_eq!(got, Some((PcpuId::new(2), VcpuId::new(7))));
+    }
+
+    #[test]
+    fn returns_none_when_nothing_stealable() {
+        let topo = presets::xeon_e5620();
+        let victims = vec![(PcpuId::new(0), 1, vec![])];
+        let mut p = CreditPolicy::new();
+        let got = p.steal(StealContext {
+            topo: &topo,
+            idle_pcpu: PcpuId::new(1),
+            victims: &victims,
+            pressure: &[],
+            would_idle: true,
+        });
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn no_partitioning_no_pmu() {
+        let mut p = CreditPolicy::new();
+        assert!(!p.uses_pmu());
+        assert_eq!(p.decision_overhead_us(24), 0.0);
+        let topo = presets::xeon_e5620();
+        let plan = p.on_sample(AnalyzerView {
+            topo: &topo,
+            samples: &[],
+            vcpus: &[],
+        });
+        assert!(plan.assignments.is_empty());
+    }
+}

@@ -1,0 +1,1518 @@
+//! The simulated machine: topology + memory model + PMU + VMs + scheduler.
+//!
+//! [`Machine::run`] advances simulated time in fixed quanta. Each quantum:
+//!
+//! 1. credit ticks (10 ms) debit the running VCPUs and, for PMU-using
+//!    policies, charge counter-collection overhead ("updated … every
+//!    10 ms" in the paper's §IV-B);
+//! 2. credit accounting (30 ms) redistributes credits and refreshes
+//!    UNDER/OVER priorities;
+//! 3. guest-OS thread shuffles fire on their per-VM period;
+//! 4. every PCPU schedules: keep the current VCPU if its timeslice
+//!    remains and nothing higher-priority waits, otherwise requeue it and
+//!    pick again — stealing through the policy when the queue offers
+//!    nothing better than OVER work (Xen's `csched_load_balance` trigger);
+//! 5. the memory engine resolves execution and the virtual PMU records it;
+//! 6. at sampling-period boundaries the policy's analyzer runs and its
+//!    partitioning plan is applied.
+
+use crate::metrics::RunMetrics;
+use crate::pcpu::PcpuState;
+use crate::policy::{AnalyzerView, SchedPolicy, StealContext, VcpuView};
+use crate::vcpu::{Priority, VcpuKind, VcpuState};
+use crate::vm::{VmConfig, VmRuntime};
+use mem_model::{MemoryEngine, NodeFree, QuantumUsage};
+use numa_topo::{NodeId, PcpuId, Topology, VcpuId, VmId};
+use pmu::{OverheadModel, OverheadTracker, PeriodSampler, PmuSample};
+use sim_core::{Clock, SimDuration, SimError, SimRng, SimTime};
+
+/// Timing and cost parameters of the hypervisor simulation.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Stationary relative standard deviation of each worker's
+    /// memory-intensity fluctuation (0 disables burstiness).
+    pub intensity_noise_sd: f64,
+    /// Correlation time of the fluctuation.
+    pub intensity_noise_corr: SimDuration,
+    /// Per-VCPU counter attribution error at a 1-quantum sampling window,
+    /// as a relative sd; the error of a window of `n` quanta is
+    /// `attribution_noise / sqrt(n)`. Perfctr-style counter save/restore
+    /// around context switches leaks a little of each neighbour's counts
+    /// into every VCPU's window, so short windows are noisy and long ones
+    /// average out (0 disables).
+    pub attribution_noise: f64,
+    /// Simulation step (default 1 ms).
+    pub quantum: SimDuration,
+    /// Credit-scheduler timeslice (30 ms in Xen).
+    pub timeslice: SimDuration,
+    /// Credit debit tick (10 ms in Xen).
+    pub credit_tick: SimDuration,
+    /// Credit accounting period (30 ms in Xen).
+    pub accounting: SimDuration,
+    /// PMU sampling period (the paper settles on 1 s, Fig. 8).
+    pub sample_period: SimDuration,
+    /// Base quanta of elevated miss rate after a cross-node migration;
+    /// scaled by the migrating workload's working-set size (refilling a
+    /// W-megabyte LLC working set takes on the order of W milliseconds).
+    pub cold_quanta: u32,
+    /// Upper bound on the scaled cold window, quanta.
+    pub cold_quanta_max: u32,
+    /// Miss-rate multiplier while cold.
+    pub cold_miss_boost: f64,
+    /// Cost of any context switch-in, microseconds.
+    pub context_switch_us: f64,
+    /// Extra cost when the switch-in is a cross-PCPU migration.
+    pub migration_extra_us: f64,
+    /// Overhead model for PMU collection / partitioning (Table III).
+    pub overhead: OverheadModel,
+    /// Root seed for all randomness.
+    pub seed: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            intensity_noise_sd: 0.18,
+            intensity_noise_corr: SimDuration::from_millis(250),
+            attribution_noise: 1.5,
+            quantum: SimDuration::from_millis(1),
+            timeslice: SimDuration::from_millis(30),
+            credit_tick: SimDuration::from_millis(10),
+            accounting: SimDuration::from_millis(30),
+            sample_period: SimDuration::from_secs(1),
+            cold_quanta: 4,
+            cold_quanta_max: 40,
+            cold_miss_boost: 3.0,
+            context_switch_us: 2.0,
+            migration_extra_us: 6.0,
+            overhead: OverheadModel::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Builder for [`Machine`].
+pub struct MachineBuilder {
+    topo: Topology,
+    cfg: MachineConfig,
+    policy: Option<Box<dyn SchedPolicy>>,
+    vm_configs: Vec<VmConfig>,
+}
+
+impl MachineBuilder {
+    pub fn new(topo: Topology) -> Self {
+        MachineBuilder {
+            topo,
+            cfg: MachineConfig::default(),
+            policy: None,
+            vm_configs: Vec::new(),
+        }
+    }
+
+    pub fn config(mut self, cfg: MachineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Override just the sampling period (common across experiments).
+    pub fn sample_period(mut self, p: SimDuration) -> Self {
+        self.cfg.sample_period = p;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn policy(mut self, policy: Box<dyn SchedPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// VMs are created in call order, which determines memory placement
+    /// (earlier VMs grab the freest nodes) and initial VCPU placement.
+    pub fn add_vm(mut self, cfg: VmConfig) -> Self {
+        self.vm_configs.push(cfg);
+        self
+    }
+
+    pub fn build(self) -> Result<Machine, SimError> {
+        let policy = self
+            .policy
+            .ok_or_else(|| SimError::InvalidConfig("no scheduling policy set".into()))?;
+        if self.vm_configs.is_empty() {
+            return Err(SimError::InvalidConfig("no VMs configured".into()));
+        }
+        if self.cfg.quantum.is_zero() {
+            return Err(SimError::InvalidConfig("zero quantum".into()));
+        }
+        Machine::create(self.topo, self.cfg, policy, &self.vm_configs)
+    }
+}
+
+/// The simulated machine.
+pub struct Machine {
+    topo: Topology,
+    cfg: MachineConfig,
+    policy: Box<dyn SchedPolicy>,
+    engine: MemoryEngine,
+    sampler: PeriodSampler,
+    overhead: OverheadTracker,
+    clock: Clock,
+    rng: SimRng,
+    vms: Vec<VmRuntime>,
+    vcpus: Vec<VcpuState>,
+    pcpus: Vec<PcpuState>,
+    /// Last sampled LLC access pressure per VCPU (Eq. 2 with α = 1000).
+    pressure: Vec<f64>,
+    metrics: RunMetrics,
+    trace: crate::trace::TraceLog,
+    timeslice_quanta: u32,
+}
+
+impl Machine {
+    fn create(
+        topo: Topology,
+        cfg: MachineConfig,
+        policy: Box<dyn SchedPolicy>,
+        vm_configs: &[VmConfig],
+    ) -> Result<Self, SimError> {
+        topo.validate()?;
+        let mut free = NodeFree::new(
+            topo.nodes()
+                .map(|n| topo.node_config(n).mem_bytes)
+                .collect(),
+        );
+        let mut vms = Vec::with_capacity(vm_configs.len());
+        let mut vcpus: Vec<VcpuState> = Vec::new();
+        let mut pcpus: Vec<PcpuState> = topo
+            .pcpus()
+            .map(|p| PcpuState::new(p, topo.node_of_pcpu(p)))
+            .collect();
+
+        for (i, vm_cfg) in vm_configs.iter().enumerate() {
+            let vm_id = VmId::new(i as u16);
+            let vm = VmRuntime::create(vm_id, vm_cfg, &mut free, vcpus.len() as u32)?;
+            let workers = vm.num_workers();
+            for (vm_idx, &vid) in vm.vcpu_ids.iter().enumerate() {
+                let kind = if vm_idx < workers {
+                    VcpuKind::Worker
+                } else {
+                    VcpuKind::TimerIdler
+                };
+                let mut vcpu = VcpuState::new(vid, vm_id, vm_idx, kind);
+                if let Some(node) = vm_cfg.pin_node {
+                    vcpu.admin_pinned = true;
+                    vcpu.assigned_node = Some(node);
+                }
+                match kind {
+                    VcpuKind::Worker => {
+                        // Initial placement: least-loaded allowed PCPU,
+                        // ties to the lowest id — Xen's pick for a fresh
+                        // VCPU, restricted by an administrative pin.
+                        let target = pcpus
+                            .iter()
+                            .filter(|p| vcpu.allowed_on(topo.node_of_pcpu(p.id)))
+                            .min_by_key(|p| (p.workload(), p.id.index()))
+                            .expect("pin must name a node with PCPUs")
+                            .id;
+                        vcpu.queued_on = Some(target);
+                        pcpus[target.index()].queue.push(vid);
+                    }
+                    VcpuKind::TimerIdler => {
+                        // Idlers start blocked; stagger their guest timers
+                        // so wakeups do not arrive in lockstep.
+                        let period = vm.idler_period.expect("idlers imply a period");
+                        vcpu.blocked = true;
+                        vcpu.next_wake = SimTime::ZERO
+                            + cfg.quantum * (vid.raw() as u64 % (period / cfg.quantum).max(1))
+                            + cfg.quantum;
+                        vcpus.push(vcpu);
+                        continue;
+                    }
+                }
+                vcpus.push(vcpu);
+            }
+            vms.push(vm);
+        }
+
+        let timeslice_quanta = (cfg.timeslice / cfg.quantum).max(1) as u32;
+        let num_vcpus = vcpus.len();
+        let num_nodes = topo.num_nodes();
+        let metrics = RunMetrics::new(vms.len());
+        Ok(Machine {
+            engine: MemoryEngine::new(&topo),
+            sampler: PeriodSampler::new(num_vcpus, num_nodes, cfg.sample_period),
+            overhead: OverheadTracker::new(cfg.overhead),
+            clock: Clock::new(cfg.quantum),
+            rng: SimRng::seed_from(cfg.seed),
+            pressure: vec![0.0; num_vcpus],
+            metrics,
+            trace: crate::trace::TraceLog::disabled(),
+            timeslice_quanta,
+            topo,
+            cfg,
+            policy,
+            vms,
+            vcpus,
+            pcpus,
+        })
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    pub fn num_vcpus(&self) -> usize {
+        self.vcpus.len()
+    }
+
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Enable xentrace-style event tracing, keeping the most recent
+    /// `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = crate::trace::TraceLog::with_capacity(capacity);
+    }
+
+    /// The trace log (empty unless [`Machine::enable_trace`] was called).
+    pub fn trace(&self) -> &crate::trace::TraceLog {
+        &self.trace
+    }
+
+    /// Replace the scheduling policy at runtime (used by experiments that
+    /// warm the system up under the stock Credit scheduler before
+    /// switching to the policy under test, as one would on a live host).
+    pub fn set_policy(&mut self, policy: Box<dyn SchedPolicy>) {
+        self.policy = policy;
+    }
+
+    /// Zero all measurement state (but not scheduler/memory state): starts
+    /// a fresh measurement window on a warm system.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = RunMetrics::new(self.vms.len());
+        self.overhead = OverheadTracker::new(self.cfg.overhead);
+        for v in &mut self.vcpus {
+            v.run_quanta = 0;
+        }
+        for i in 0..self.vcpus.len() {
+            // Close the PMU windows so whole-run totals restart cleanly.
+            let _ = self.sampler.totals(i);
+        }
+        let num_vcpus = self.vcpus.len();
+        let num_nodes = self.topo.num_nodes();
+        self.sampler = PeriodSampler::new(num_vcpus, num_nodes, self.cfg.sample_period);
+    }
+
+    pub fn vm_id_by_name(&self, name: &str) -> Option<VmId> {
+        self.vms.iter().find(|v| v.name == name).map(|v| v.id)
+    }
+
+    /// Whole-run PMU totals for one VCPU.
+    pub fn vcpu_totals(&self, vcpu: VcpuId) -> PmuSample {
+        self.sampler.totals(vcpu.index())
+    }
+
+    /// Current node of a VCPU (running or queued).
+    pub fn vcpu_node(&self, vcpu: VcpuId) -> Option<NodeId> {
+        let v = &self.vcpus[vcpu.index()];
+        v.running_on
+            .or(v.queued_on)
+            .map(|p| self.topo.node_of_pcpu(p))
+    }
+
+    /// Run for `duration` of simulated time.
+    pub fn run(&mut self, duration: SimDuration) -> &RunMetrics {
+        let quanta = duration / self.cfg.quantum;
+        for _ in 0..quanta {
+            self.step_quantum();
+        }
+        self.metrics.elapsed += self.cfg.quantum * quanta;
+        self.metrics.overhead_us = self.overhead.overhead_us();
+        self.metrics.busy_us = self.overhead.busy_us();
+        &self.metrics
+    }
+
+    fn step_quantum(&mut self) {
+        self.clock.step();
+        let now = self.clock.now();
+
+        // Credit ticks (staggered per PCPU, as Xen offsets per-CPU timers
+        // to avoid thundering herd) and per-VCPU staggered accounting.
+        self.credit_ticks(now);
+        self.credit_accounting(now);
+
+        // Guest thread shuffles.
+        for vm in &mut self.vms {
+            if let Some(period) = vm.shuffle_period {
+                if now.as_micros().is_multiple_of(period.as_micros()) {
+                    vm.shuffle();
+                }
+            }
+        }
+
+        self.wake_idlers(now);
+        self.schedule_all();
+        self.execute_quantum(now);
+        self.debit_running();
+
+        if let Some(samples) = self.sampler.maybe_sample(now) {
+            self.handle_sample(now, samples);
+        }
+    }
+
+    /// 10 ms credit ticks, offset per PCPU: PCPU `p`'s tick fires at
+    /// `p * quantum` past each 10 ms boundary. For PMU-using policies each
+    /// tick charges counter-collection cost (the paper updates a VCPU's
+    /// runtime information every 10 ms); credit debiting itself is precise
+    /// per-quantum (see `debit_running`).
+    fn credit_ticks(&mut self, now: SimTime) {
+        let uses_pmu = self.policy.uses_pmu();
+        let tick = self.cfg.credit_tick.as_micros();
+        let quantum = self.cfg.quantum.as_micros();
+        let runnable: usize = self.pcpus.iter().map(|p| p.workload()).sum();
+        let lock_cost = self.policy.tick_overhead_us(runnable);
+        for p in 0..self.pcpus.len() {
+            let offset = (p as u64 * quantum) % tick;
+            if !(now.as_micros().wrapping_sub(offset)).is_multiple_of(tick) {
+                continue;
+            }
+            if self.pcpus[p].current.is_some() {
+                if uses_pmu {
+                    let cost = self.overhead.charge_sample();
+                    self.pcpus[p].pending_overhead_us += cost;
+                }
+                // Policy-specific counter-update serialization (BRM's
+                // global lock). Not part of the Table III overhead budget:
+                // it is the comparison scheduler's own defect, not vProbe
+                // monitoring cost.
+                self.pcpus[p].pending_overhead_us += lock_cost;
+            }
+        }
+    }
+
+    /// Precise credit debiting: the running VCPU pays for every quantum it
+    /// actually consumed (100 credits per 10 ms of runtime). Xen 4.0's
+    /// tick-based debiting let VCPUs running short slices between ticks
+    /// escape accounting entirely ("tick evasion"), which lets low-pressure
+    /// VCPUs stay UNDER forever and distorts every steal policy that
+    /// prefers them; Xen later fixed this the same way.
+    fn debit_running(&mut self) {
+        let per_quantum =
+            (100 * self.cfg.quantum.as_micros() / self.cfg.credit_tick.as_micros()).max(1) as i32;
+        for p in 0..self.pcpus.len() {
+            if let Some(v) = self.pcpus[p].current {
+                self.vcpus[v.index()].adjust_credits(-per_quantum);
+            }
+        }
+    }
+
+    /// 30 ms accounting: split the machine's credit grant evenly across
+    /// active (non-blocked) VCPUs (all VMs share equal weight in the
+    /// paper's setups).
+    ///
+    /// Each VCPU's grant lands at its own offset inside the accounting
+    /// window rather than on one global edge: a fully synchronous grant
+    /// makes every waiting VCPU cross the UNDER/OVER boundary in phase, so
+    /// balance attempts (which fire when a queue has gone all-OVER) would
+    /// always observe every other queue all-OVER too and never find steal
+    /// candidates. Real systems get this phase diversity for free from
+    /// wakeups and I/O; the simulation makes it explicit.
+    ///
+    /// Credits clamp at Xen's bounds: a VCPU waiting too long forfeits
+    /// further entitlement (as in Xen, where capped VCPUs are demoted to
+    /// inactive accounting), and a VCPU cannot dig an unbounded deficit.
+    fn credit_accounting(&mut self, now: SimTime) {
+        let active = self.vcpus.iter().filter(|v| !v.blocked).count();
+        if active == 0 {
+            return;
+        }
+        let total = 300 * self.pcpus.len() as i32;
+        // Grants are proportional to each VM's weight (Xen's knob; the
+        // paper's setups use the default 256 everywhere, making this the
+        // equal split).
+        let total_weight: u64 = self
+            .vcpus
+            .iter()
+            .filter(|v| !v.blocked)
+            .map(|v| self.vms[v.vm.index()].weight as u64)
+            .sum();
+        let window = self.cfg.accounting.as_micros();
+        let quantum = self.cfg.quantum.as_micros();
+        let slots = (window / quantum).max(1);
+        for i in 0..self.vcpus.len() {
+            if self.vcpus[i].blocked {
+                continue;
+            }
+            let offset = (i as u64 % slots) * quantum;
+            if (now.as_micros().wrapping_sub(offset)).is_multiple_of(window) {
+                let w = self.vms[self.vcpus[i].vm.index()].weight as u64;
+                let grant = (total as i64 * w as i64 / total_weight.max(1) as i64) as i32;
+                self.vcpus[i].adjust_credits(grant);
+            }
+        }
+    }
+
+    /// Wake any timer idlers whose guest timer has fired. Wake placement is
+    /// Xen's NUMA-oblivious `csched_cpu_pick`: the first idle PCPU in id
+    /// order, else the least-loaded one — which concentrates wakeups (and
+    /// the preemption they cause) on low-numbered PCPUs.
+    fn wake_idlers(&mut self, now: SimTime) {
+        for i in 0..self.vcpus.len() {
+            if !(self.vcpus[i].blocked && self.vcpus[i].next_wake <= now) {
+                continue;
+            }
+            let target = self
+                .pcpus
+                .iter()
+                .filter(|p| self.vcpus[i].allowed_on(p.node))
+                .min_by_key(|p| (!p.is_idle(), p.workload(), p.id.index()))
+                .map(|p| p.id)
+                .expect("machine has PCPUs");
+            let v = &mut self.vcpus[i];
+            v.blocked = false;
+            v.burst_left = 1;
+            v.priority = v.wake_priority();
+            v.queued_on = Some(target);
+            let vid = v.id;
+            self.pcpus[target.index()].queue.push(vid);
+        }
+    }
+
+    fn schedule_all(&mut self) {
+        for p in 0..self.pcpus.len() {
+            self.schedule_pcpu(PcpuId::from_index(p));
+        }
+        // Idle-with-queued-work signal for load-balance quality.
+        let any_idle = self.pcpus.iter().any(|p| p.current.is_none());
+        let any_queued = self.pcpus.iter().any(|p| !p.queue.is_empty());
+        if any_idle && any_queued {
+            self.metrics.idle_with_work_quanta += 1;
+        }
+    }
+
+    fn schedule_pcpu(&mut self, pid: PcpuId) {
+        let node = self.pcpus[pid.index()].node;
+        // Decide whether the current VCPU keeps the PCPU.
+        if let Some(cur) = self.pcpus[pid.index()].current {
+            // A timer idler whose burst is spent blocks until its next
+            // guest-timer firing.
+            if self.vcpus[cur.index()].kind == VcpuKind::TimerIdler
+                && self.vcpus[cur.index()].burst_left == 0
+            {
+                self.pcpus[pid.index()].current = None;
+                let period = self.vms[self.vcpus[cur.index()].vm.index()]
+                    .idler_period
+                    .expect("idler implies period");
+                let v = &mut self.vcpus[cur.index()];
+                v.running_on = None;
+                v.blocked = true;
+                v.next_wake = self.clock.now() + period;
+            } else {
+                let vcpus = &self.vcpus;
+                let v = &vcpus[cur.index()];
+                let preempted = self.pcpus[pid.index()]
+                    .queue
+                    .head_priority(|x| vcpus[x.index()].priority)
+                    .is_some_and(|h| h < v.priority);
+                let keep = v.timeslice_left > 0 && v.allowed_on(node) && !preempted;
+                if keep {
+                    self.vcpus[cur.index()].timeslice_left -= 1;
+                    return;
+                }
+                // Deschedule.
+                self.pcpus[pid.index()].current = None;
+                let vstate = &mut self.vcpus[cur.index()];
+                vstate.running_on = None;
+                if vstate.allowed_on(node) {
+                    vstate.queued_on = Some(pid);
+                    self.pcpus[pid.index()].queue.push(cur);
+                } else {
+                    let target = vstate.assigned_node.expect("not allowed implies assignment");
+                    self.enqueue_on_node(cur, target);
+                }
+            }
+        }
+
+        // Pick next: prefer own BOOST/UNDER work; steal when the best the
+        // queue offers is OVER work or nothing (Xen's balance trigger).
+        let head = {
+            let vcpus = &self.vcpus;
+            self.pcpus[pid.index()]
+                .queue
+                .head_priority(|x| vcpus[x.index()].priority)
+        };
+        if head.is_none() || head == Some(Priority::Over) {
+            let min_prio = if head.is_some() {
+                Priority::Under // have OVER work; only better work is worth a steal
+            } else {
+                Priority::Over // idle; take anything
+            };
+            let would_idle = head.is_none();
+            if let Some((victim, vcpu)) = self.try_steal(pid, min_prio, would_idle) {
+                let removed = self.pcpus[victim.index()].queue.remove(vcpu);
+                debug_assert!(removed, "stolen vcpu must be queued on victim");
+                self.vcpus[vcpu.index()].queued_on = None;
+                self.metrics.steals += 1;
+                self.metrics.steals_per_vm[self.vcpus[vcpu.index()].vm.index()] += 1;
+                if head.is_none() {
+                    self.metrics.idle_steals += 1;
+                }
+                if self.trace.is_enabled() {
+                    let cross = self.pcpus[victim.index()].node != self.pcpus[pid.index()].node;
+                    self.trace.record(
+                        self.clock.now(),
+                        crate::trace::Event::Steal {
+                            thief: pid,
+                            victim,
+                            vcpu,
+                            cross_node: cross,
+                        },
+                    );
+                }
+                self.switch_in(pid, vcpu);
+                return;
+            }
+        }
+        let popped = {
+            let vcpus = &self.vcpus;
+            self.pcpus[pid.index()]
+                .queue
+                .pop_best(|x| vcpus[x.index()].priority)
+        };
+        if let Some((vcpu, _prio)) = popped {
+            self.vcpus[vcpu.index()].queued_on = None;
+            self.switch_in(pid, vcpu);
+        }
+    }
+
+    fn try_steal(
+        &mut self,
+        thief: PcpuId,
+        min_prio: Priority,
+        would_idle: bool,
+    ) -> Option<(PcpuId, VcpuId)> {
+        let thief_node = self.pcpus[thief.index()].node;
+        let mut victims: Vec<(PcpuId, usize, Vec<VcpuId>)> =
+            Vec::with_capacity(self.pcpus.len() - 1);
+        let mut total_runnable = 0usize;
+        for p in &self.pcpus {
+            total_runnable += p.workload();
+            if p.id == thief {
+                continue;
+            }
+            // BOOST VCPUs are excluded: a boosted wakeup is about to be
+            // run by its own (tickled) PCPU within microseconds on real
+            // Xen; it is only observably queued here because of the 1 ms
+            // quantum. Stealing one would waste the balance operation on a
+            // VCPU that blocks again almost immediately.
+            let candidates: Vec<VcpuId> = p
+                .queue
+                .iter_at_least(min_prio, |x| self.vcpus[x.index()].priority)
+                .filter(|v| {
+                    let st = &self.vcpus[v.index()];
+                    st.priority != Priority::Boost && st.allowed_on(thief_node)
+                })
+                .collect();
+            victims.push((p.id, p.workload(), candidates));
+        }
+        self.metrics.steal_attempts += 1;
+        if victims.iter().all(|(_, _, c)| c.is_empty()) {
+            self.metrics.steal_attempts_empty += 1;
+        }
+        // Serialization cost of the balance decision (BRM's global lock).
+        let cost = self.policy.decision_overhead_us(total_runnable);
+        if cost > 0.0 {
+            self.pcpus[thief.index()].pending_overhead_us += cost;
+        }
+        let ctx = StealContext {
+            topo: &self.topo,
+            idle_pcpu: thief,
+            victims: &victims,
+            pressure: &self.pressure,
+            would_idle,
+        };
+        self.policy.steal(ctx)
+    }
+
+    fn switch_in(&mut self, pid: PcpuId, vcpu: VcpuId) {
+        let node = self.pcpus[pid.index()].node;
+        let migrated = self.vcpus[vcpu.index()].last_pcpu != Some(pid);
+        let cross_node = self.vcpus[vcpu.index()]
+            .last_pcpu
+            .is_some_and(|lp| self.topo.node_of_pcpu(lp) != node);
+        // Timer-idler wake placements are wakeups, not load-balance
+        // migrations: they carry no cache/memory state worth tracking, so
+        // only workers count toward the migration metrics.
+        let is_worker = self.vcpus[vcpu.index()].kind == VcpuKind::Worker;
+        if migrated && is_worker && self.vcpus[vcpu.index()].last_pcpu.is_some() {
+            self.metrics.migrations += 1;
+            if cross_node {
+                self.metrics.cross_node_migrations += 1;
+                // The whole LLC working set must be refetched on the new
+                // node: the cold window scales with its size (~1 ms/MB).
+                let v = &self.vcpus[vcpu.index()];
+                let ws_mb = (self.vms[v.vm.index()]
+                    .thread_for_slot(v.vm_idx)
+                    .spec_at(self.clock.now())
+                    .miss_curve
+                    .ws_bytes
+                    / (1024 * 1024)) as u32;
+                self.vcpus[vcpu.index()].cold_quanta =
+                    (self.cfg.cold_quanta + ws_mb).min(self.cfg.cold_quanta_max);
+            }
+        }
+        let mut cost = self.cfg.context_switch_us;
+        if migrated {
+            cost += self.cfg.migration_extra_us;
+        }
+        self.pcpus[pid.index()].pending_overhead_us += cost;
+        let v = &mut self.vcpus[vcpu.index()];
+        v.running_on = Some(pid);
+        v.last_pcpu = Some(pid);
+        v.timeslice_left = self.timeslice_quanta;
+        self.pcpus[pid.index()].current = Some(vcpu);
+        if self.trace.is_enabled() {
+            self.trace
+                .record(self.clock.now(), crate::trace::Event::SwitchIn { vcpu, pcpu: pid });
+        }
+    }
+
+    /// Queue a VCPU on a uniformly random PCPU of `node`.
+    ///
+    /// Deliberately *not* least-loaded: a periodic pass that always lands
+    /// migrated VCPUs on the emptiest queue would hand them a systematic
+    /// queue-jump over VCPUs the pass never touches, distorting CPU shares
+    /// in favour of whatever the policy migrates most often. Random
+    /// placement is share-neutral; intra-node imbalance is the stealing
+    /// path's job.
+    fn enqueue_on_node(&mut self, vcpu: VcpuId, node: NodeId) {
+        let pcpus = self.topo.pcpus_of_node(node);
+        let target = pcpus[self.rng.index(pcpus.len()).expect("every node has PCPUs")];
+        self.vcpus[vcpu.index()].queued_on = Some(target);
+        self.pcpus[target.index()].queue.push(vcpu);
+    }
+
+    fn execute_quantum(&mut self, now: SimTime) {
+        let noise = self.update_intensity_noise();
+        let mut usages: Vec<QuantumUsage> = Vec::with_capacity(self.pcpus.len());
+        let num_nodes = self.topo.num_nodes();
+        for p in &mut self.pcpus {
+            let Some(vid) = p.current else { continue };
+            self.vcpus[vid.index()].run_quanta += 1;
+            let v = &self.vcpus[vid.index()];
+            let vm = &self.vms[v.vm.index()];
+            let profile = match v.kind {
+                VcpuKind::Worker => {
+                    let thread = vm.thread_for_slot(v.vm_idx);
+                    let spec = thread.spec_at(now);
+                    let mut p = spec.access_profile(thread.access_dist.clone());
+                    p.rpti *= noise[vid.index()];
+                    p
+                }
+                // A timer-idler burst is kernel housekeeping: brief,
+                // CPU-only, no LLC footprint worth modeling.
+                VcpuKind::TimerIdler => mem_model::AccessProfile::cpu_only(1.0, num_nodes),
+            };
+            usages.push(QuantumUsage {
+                key: vid.raw() as u64,
+                node: p.node,
+                runtime_share: 1.0,
+                profile,
+                cold_miss_boost: if v.cold_quanta > 0 {
+                    self.cfg.cold_miss_boost
+                } else {
+                    1.0
+                },
+                overhead_us: std::mem::take(&mut p.pending_overhead_us),
+            });
+        }
+        let results = self.engine.step(self.cfg.quantum, &usages);
+        for r in &results {
+            let vid = VcpuId::new(r.key as u32);
+            let v = &mut self.vcpus[vid.index()];
+            if v.cold_quanta > 0 {
+                v.cold_quanta -= 1;
+            }
+            if v.kind == VcpuKind::TimerIdler {
+                // Idler bursts consume PCPU time but are guest-kernel
+                // housekeeping, not application work: they count toward
+                // machine busy time (Table III's denominator) only.
+                if v.burst_left > 0 {
+                    v.burst_left -= 1;
+                }
+                self.overhead.add_busy_time(self.cfg.quantum);
+                continue;
+            }
+            self.sampler.record(
+                vid.index(),
+                r.instructions,
+                r.llc_refs,
+                r.llc_misses,
+                r.local_accesses,
+                r.remote_accesses,
+                &r.node_accesses,
+            );
+            let m = &mut self.metrics.per_vm[v.vm.index()];
+            m.instructions += r.instructions;
+            m.llc_refs += r.llc_refs;
+            m.llc_misses += r.llc_misses;
+            m.local_accesses += r.local_accesses;
+            m.remote_accesses += r.remote_accesses;
+            m.busy_us += self.cfg.quantum.as_micros();
+            self.overhead.add_busy_time(self.cfg.quantum);
+        }
+    }
+
+    /// Advance each worker's burstiness process one quantum (discrete
+    /// Ornstein-Uhlenbeck reverting to 1.0) and return the current factors.
+    fn update_intensity_noise(&mut self) -> Vec<f64> {
+        let sd = self.cfg.intensity_noise_sd;
+        if sd <= 0.0 {
+            return vec![1.0; self.vcpus.len()];
+        }
+        let theta = (self.cfg.quantum.as_micros() as f64
+            / self.cfg.intensity_noise_corr.as_micros().max(1) as f64)
+            .min(1.0);
+        // Stationary sd of x' = x + theta (1 - x) + step*eps is
+        // step / sqrt(theta (2 - theta)).
+        let step = sd * (theta * (2.0 - theta)).sqrt();
+        let mut out = Vec::with_capacity(self.vcpus.len());
+        for v in &mut self.vcpus {
+            if v.kind == VcpuKind::Worker {
+                let eps = self.rng.normal_clamped(0.0, 1.0, -3.0, 3.0);
+                v.intensity_noise =
+                    (v.intensity_noise + theta * (1.0 - v.intensity_noise) + step * eps)
+                        .clamp(0.4, 1.8);
+            }
+            out.push(v.intensity_noise);
+        }
+        out
+    }
+
+    fn handle_sample(&mut self, now: SimTime, mut samples: Vec<PmuSample>) {
+        // Counter attribution error: relative sd shrinks with the square
+        // root of the window length.
+        if self.cfg.attribution_noise > 0.0 {
+            let window_quanta =
+                (self.cfg.sample_period.as_micros() / self.cfg.quantum.as_micros()).max(1);
+            let sd = self.cfg.attribution_noise / (window_quanta as f64).sqrt();
+            for s in &mut samples {
+                let f = self.rng.normal_clamped(1.0, sd, 0.2, 3.0);
+                s.llc_refs = (s.llc_refs as f64 * f).round() as u64;
+            }
+        }
+        // Refresh the machine-cached per-VCPU pressures (Eq. 2).
+        for (v, s) in samples.iter().enumerate() {
+            self.pressure[v] = s.llc_access_pressure(1_000.0);
+        }
+        // Per-VM remote-ratio and throughput series for this period.
+        let period_s = self.cfg.sample_period.as_secs_f64();
+        for vm in &self.vms {
+            let (mut local, mut remote, mut instr) = (0u64, 0u64, 0u64);
+            for &vid in &vm.vcpu_ids {
+                local += samples[vid.index()].local_accesses;
+                remote += samples[vid.index()].remote_accesses;
+                instr += samples[vid.index()].instructions;
+            }
+            let ratio = if local + remote == 0 {
+                0.0
+            } else {
+                remote as f64 / (local + remote) as f64
+            };
+            self.metrics.remote_ratio_series[vm.id.index()].push(now, ratio);
+            self.metrics.throughput_series[vm.id.index()]
+                .push(now, instr as f64 / period_s);
+        }
+
+        if self.policy.uses_pmu() {
+            let cost = self.overhead.charge_analysis();
+            self.pcpus[0].pending_overhead_us += cost;
+        }
+
+        let views: Vec<VcpuView> = self
+            .vcpus
+            .iter()
+            .map(|v| VcpuView {
+                id: v.id,
+                vm: v.vm,
+                assigned_node: v.assigned_node,
+            })
+            .collect();
+        let plan = self.policy.on_sample(AnalyzerView {
+            topo: &self.topo,
+            samples: &samples,
+            vcpus: &views,
+        });
+
+        for a in plan.assignments {
+            let idx = a.vcpu.index();
+            // Administrative pins outrank any policy decision.
+            if self.vcpus[idx].admin_pinned {
+                continue;
+            }
+            // A *hard* plan pins the VCPU to the node until the next
+            // period; the paper's partitioning is a one-shot migration
+            // (soft) whose persistence relies on the NUMA-aware load
+            // balance not dragging heavy VCPUs back across nodes.
+            self.vcpus[idx].assigned_node = if plan.hard { a.node } else { None };
+            let Some(target) = a.node else { continue };
+            // Algorithm 1 calls migrate(vc, MIN-NODE) for every
+            // memory-intensive VCPU: a VCPU already running on the right
+            // node is left alone, but a queued one is re-placed on the
+            // node's least-loaded PCPU (losing its queue position) — this
+            // per-pass disruption is what makes very short sampling
+            // periods expensive (Fig. 8's left arm).
+            let on_target_pcpu = |p: Option<numa_topo::PcpuId>| {
+                p.is_some_and(|pid| self.topo.node_of_pcpu(pid) == target)
+            };
+            if on_target_pcpu(self.vcpus[idx].running_on) {
+                continue;
+            }
+            let was_cross = !on_target_pcpu(self.vcpus[idx].queued_on)
+                || self.vcpus[idx].running_on.is_some();
+            if let Some(pid) = self.vcpus[idx].running_on {
+                self.pcpus[pid.index()].current = None;
+                self.vcpus[idx].running_on = None;
+            } else if let Some(pid) = self.vcpus[idx].queued_on {
+                self.pcpus[pid.index()].queue.remove(a.vcpu);
+                self.vcpus[idx].queued_on = None;
+            }
+            self.enqueue_on_node(a.vcpu, target);
+            if was_cross {
+                self.metrics.partition_moves += 1;
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        crate::trace::Event::PartitionMove {
+                            vcpu: a.vcpu,
+                            node: target,
+                        },
+                    );
+                }
+            }
+            if self.policy.uses_pmu() {
+                let cost = self.overhead.charge_migration();
+                self.pcpus[0].pending_overhead_us += cost;
+            }
+        }
+
+        // §VI extension: page migrations requested by the policy. The copy
+        // engine moves ~2 bytes/ns; its time is charged as overhead on the
+        // PCPU where the migrated VCPU would run (the VM stalls on the
+        // moving pages).
+        for pm in plan.page_migrations {
+            let v = &self.vcpus[pm.vcpu.index()];
+            if v.kind != VcpuKind::Worker {
+                continue;
+            }
+            let (vm, vm_idx) = (v.vm, v.vm_idx);
+            let charged_pcpu = v.running_on.or(v.queued_on).unwrap_or(PcpuId::new(0));
+            let moved = self.vms[vm.index()].migrate_thread_pages(vm_idx, pm.to_node, pm.max_bytes);
+            if moved > 0 {
+                self.metrics.page_migrations += 1;
+                self.metrics.page_migration_bytes += moved;
+                self.pcpus[charged_pcpu.index()].pending_overhead_us += moved as f64 / 2_000.0;
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        crate::trace::Event::PageMigration {
+                            vcpu: pm.vcpu,
+                            node: pm.to_node,
+                            bytes: moved,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_helpers {
+    use super::*;
+    use crate::credit::CreditPolicy;
+    use mem_model::AllocPolicy;
+    use numa_topo::presets;
+    use workloads::{hungry, npb};
+
+    const GB: u64 = 1024 * 1024 * 1024;
+
+    pub fn quad_topo() -> numa_topo::Topology {
+        numa_topo::TopologyBuilder::new(2_400)
+            .add_nodes(numa_topo::NodeConfig::e5620_node(), 2, 2)
+            .fully_connected_qpi()
+            .build()
+            .unwrap()
+    }
+
+    pub fn basic_machine_pub() -> Machine {
+        MachineBuilder::new(presets::xeon_e5620())
+            .policy(Box::new(CreditPolicy::new()))
+            .add_vm(VmConfig::new("vm1", 8, 8 * GB, AllocPolicy::MostFree, vec![npb::lu()]))
+            .add_vm(VmConfig::new("vm2", 8, 5 * GB, AllocPolicy::MostFree, vec![npb::lu()]))
+            .add_vm(VmConfig::new("vm3", 8, GB, AllocPolicy::MostFree, vec![hungry::hungry_loop(); 8]))
+            .build()
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::credit::CreditPolicy;
+    use mem_model::AllocPolicy;
+    use numa_topo::presets;
+    use workloads::{hungry, npb, speccpu};
+
+    const GB: u64 = 1024 * 1024 * 1024;
+
+    fn vm(name: &str, mem_gb: u64, workloads: Vec<workloads::WorkloadSpec>) -> VmConfig {
+        VmConfig {
+            name: name.into(),
+            vcpus: 8,
+            mem_bytes: mem_gb * GB,
+            alloc: AllocPolicy::MostFree,
+            workloads,
+            shuffle_period: None,
+            idler_period: Some(SimDuration::from_millis(30)),
+            pin_node: None,
+            phase_period: None,
+            weight: 256,
+        }
+    }
+
+    fn basic_machine() -> Machine {
+        MachineBuilder::new(presets::xeon_e5620())
+            .policy(Box::new(CreditPolicy::new()))
+            .add_vm(vm("vm1", 8, vec![npb::lu()]))
+            .add_vm(vm("vm2", 5, vec![npb::lu()]))
+            .add_vm(VmConfig {
+                name: "vm3".into(),
+                vcpus: 8,
+                mem_bytes: GB,
+                alloc: AllocPolicy::MostFree,
+                workloads: vec![hungry::hungry_loop(); 8],
+                shuffle_period: None,
+                idler_period: Some(SimDuration::from_millis(30)),
+                pin_node: None,
+                phase_period: None,
+                weight: 256,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_policy_and_vms() {
+        let err = MachineBuilder::new(presets::xeon_e5620())
+            .add_vm(vm("v", 1, vec![npb::lu()]))
+            .build()
+            .err()
+            .expect("missing policy must fail");
+        assert!(err.to_string().contains("policy"));
+        let err = MachineBuilder::new(presets::xeon_e5620())
+            .policy(Box::new(CreditPolicy::new()))
+            .build()
+            .err()
+            .expect("missing VMs must fail");
+        assert!(err.to_string().contains("VMs"));
+    }
+
+    #[test]
+    fn machine_creates_vcpus_including_idlers() {
+        let m = basic_machine();
+        // 4 + 4 + 8 worker threads plus 4 + 4 + 0 timer idlers.
+        assert_eq!(m.num_vcpus(), 24);
+    }
+
+    #[test]
+    fn run_advances_time_and_executes() {
+        let mut m = basic_machine();
+        m.run(SimDuration::from_secs(2));
+        assert_eq!(m.now().as_micros(), 2_000_000);
+        let metrics = m.metrics();
+        assert_eq!(metrics.elapsed, SimDuration::from_secs(2));
+        for vm in &metrics.per_vm {
+            assert!(vm.instructions > 0, "every VM should make progress");
+        }
+        // 16 runnable workers on 8 PCPUs: every PCPU busy every quantum
+        // (busy time includes idler bursts, hence exact machine capacity).
+        assert_eq!(metrics.busy_us, 8.0 * 2_000_000.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = basic_machine();
+        let mut b = basic_machine();
+        a.run(SimDuration::from_secs(1));
+        b.run(SimDuration::from_secs(1));
+        assert_eq!(
+            a.metrics().per_vm[0].instructions,
+            b.metrics().per_vm[0].instructions
+        );
+        assert_eq!(a.metrics().migrations, b.metrics().migrations);
+    }
+
+    #[test]
+    fn credit_fairness_across_identical_vms() {
+        // VM1 and VM2 run the same program; with fair share their busy
+        // time converges once the initial placement transient (VM1 on
+        // node0, VM2 on node1, scan-order stealing favouring low PCPUs)
+        // washes out.
+        let mut m = basic_machine();
+        m.run(SimDuration::from_secs(12));
+        let b1 = m.metrics().per_vm[0].busy_us as f64;
+        let b2 = m.metrics().per_vm[1].busy_us as f64;
+        let ratio = b1 / b2;
+        assert!((0.72..1.4).contains(&ratio), "busy ratio {ratio}");
+    }
+
+    #[test]
+    fn oversubscription_causes_migrations_under_credit() {
+        let mut m = basic_machine();
+        m.run(SimDuration::from_secs(5));
+        assert!(
+            m.metrics().migrations > 10,
+            "credit churn expected, got {}",
+            m.metrics().migrations
+        );
+        assert!(m.metrics().cross_node_migrations > 0);
+    }
+
+    #[test]
+    fn remote_accesses_happen_under_credit() {
+        let mut m = basic_machine();
+        m.run(SimDuration::from_secs(5));
+        let vm1 = &m.metrics().per_vm[0];
+        assert!(vm1.remote_accesses > 0, "NUMA-oblivious credit must go remote");
+        assert!(vm1.remote_ratio() > 0.2, "ratio={}", vm1.remote_ratio());
+    }
+
+    #[test]
+    fn undersubscribed_machine_leaves_pcpus_idle_but_progresses() {
+        let mut m = MachineBuilder::new(presets::xeon_e5620())
+            .policy(Box::new(CreditPolicy::new()))
+            .add_vm(vm("solo", 4, vec![speccpu::soplex()]))
+            .build()
+            .unwrap();
+        m.run(SimDuration::from_secs(1));
+        let vm0 = &m.metrics().per_vm[0];
+        assert!(vm0.instructions > 0);
+        // One busy VCPU: at most 1 PCPU-second of busy time.
+        assert!(vm0.busy_us <= 1_000_000);
+    }
+
+    #[test]
+    fn vm_lookup_by_name() {
+        let m = basic_machine();
+        assert_eq!(m.vm_id_by_name("vm2"), Some(VmId::new(1)));
+        assert_eq!(m.vm_id_by_name("nope"), None);
+    }
+
+    #[test]
+    fn pmu_totals_match_vm_metrics() {
+        let mut m = basic_machine();
+        m.run(SimDuration::from_secs(1));
+        let vm1 = m.vm_id_by_name("vm1").unwrap();
+        let sum: u64 = (0..4).map(|i| m.vcpu_totals(VcpuId::new(i)).instructions).sum();
+        assert_eq!(sum, m.metrics().vm(vm1).instructions);
+    }
+
+    #[test]
+    fn credit_policy_charges_no_overhead() {
+        let mut m = basic_machine();
+        m.run(SimDuration::from_secs(2));
+        assert_eq!(m.metrics().overhead_us, 0.0);
+        assert_eq!(m.metrics().overhead_percent(), 0.0);
+    }
+
+    #[test]
+    fn remote_ratio_series_recorded_per_period() {
+        let mut m = basic_machine();
+        m.run(SimDuration::from_secs(3));
+        let vm1 = m.vm_id_by_name("vm1").unwrap();
+        let series = &m.metrics().remote_ratio_series[vm1.index()];
+        assert_eq!(series.len(), 3, "one point per 1 s sampling period");
+    }
+
+    #[test]
+    fn timeslice_limits_continuous_run() {
+        // With 16 VCPUs on 8 PCPUs nobody should hold a PCPU beyond the
+        // 30 ms timeslice, so each VM's busy share stays near fair.
+        let mut m = basic_machine();
+        m.run(SimDuration::from_secs(4));
+        let total: u64 = m.metrics().per_vm.iter().map(|v| v.busy_us).sum();
+        // Worker busy time fills the machine minus the idler-burst tax.
+        assert!(total <= 8 * 4_000_000, "cannot exceed machine capacity");
+        assert!(
+            total as f64 >= 0.85 * (8 * 4_000_000) as f64,
+            "workers should dominate machine time: {total}"
+        );
+        let vm3 = &m.metrics().per_vm[2];
+        let share = vm3.busy_us as f64 / total as f64;
+        assert!(
+            (0.35..0.65).contains(&share),
+            "8 of 16 worker VCPUs should get about half the machine: {share}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::tests_helpers::*;
+
+    #[test]
+    #[ignore]
+    fn inspect_dynamics() {
+        let mut m = basic_machine_pub();
+        m.run(sim_core::SimDuration::from_secs(10));
+        let met = m.metrics();
+        eprintln!("migrations={} cross={} steals={} partition={}",
+            met.migrations, met.cross_node_migrations, met.steals, met.partition_moves);
+        for (i, vm) in met.per_vm.iter().enumerate() {
+            eprintln!("vm{i}: instr={} busy={}us remote_ratio={:.3} total_acc={}",
+                vm.instructions, vm.busy_us, vm.remote_ratio(), vm.total_accesses());
+        }
+    }
+}
+
+impl Machine {
+    /// Per-VCPU service received, in quanta (diagnostic).
+    pub fn vcpu_run_quanta(&self) -> Vec<u64> {
+        self.vcpus.iter().map(|v| v.run_quanta).collect()
+    }
+
+    /// Per-VCPU credits (diagnostic).
+    pub fn vcpu_credits(&self) -> Vec<i32> {
+        self.vcpus.iter().map(|v| v.credits).collect()
+    }
+
+    /// Validate the scheduler state machine; returns a description of the
+    /// first violation found. Used by tests (and cheap enough to call in
+    /// debug builds after every step).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for v in &self.vcpus {
+            // A VCPU is in exactly one of: running, queued, blocked-idle.
+            let states =
+                u8::from(v.running_on.is_some()) + u8::from(v.queued_on.is_some()) + u8::from(v.blocked);
+            if states != 1 {
+                return Err(format!("{} is in {} states at once", v.id, states));
+            }
+            if let Some(p) = v.running_on {
+                if self.pcpus[p.index()].current != Some(v.id) {
+                    return Err(format!("{} claims to run on {p} which runs {:?}", v.id, self.pcpus[p.index()].current));
+                }
+                if !v.allowed_on(self.topo.node_of_pcpu(p)) {
+                    return Err(format!("{} runs on {p} outside its pinned node", v.id));
+                }
+            }
+            if let Some(p) = v.queued_on {
+                if !self.pcpus[p.index()].queue.iter().any(|q| q == v.id) {
+                    return Err(format!("{} claims queue {p} but is not in it", v.id));
+                }
+            }
+            if v.blocked && v.kind != VcpuKind::TimerIdler {
+                return Err(format!("worker {} is blocked", v.id));
+            }
+            if !(-900..=900).contains(&v.credits) {
+                return Err(format!("{} credits {} out of clamp", v.id, v.credits));
+            }
+        }
+        for p in &self.pcpus {
+            if let Some(cur) = p.current {
+                if self.vcpus[cur.index()].running_on != Some(p.id) {
+                    return Err(format!("{} runs {} which disagrees", p.id, cur));
+                }
+            }
+            for q in p.queue.iter() {
+                if self.vcpus[q.index()].queued_on != Some(p.id) {
+                    return Err(format!("{} queues {} which disagrees", p.id, q));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod feature_tests {
+    use super::tests_helpers::basic_machine_pub;
+    use super::*;
+    use crate::credit::CreditPolicy;
+    use mem_model::AllocPolicy;
+    use numa_topo::presets;
+    use workloads::{npb, speccpu};
+
+    const GB: u64 = 1024 * 1024 * 1024;
+
+    #[test]
+    fn invariants_hold_throughout_a_run() {
+        let mut m = basic_machine_pub();
+        for _ in 0..40 {
+            m.run(SimDuration::from_millis(100));
+            m.check_invariants().expect("invariants");
+        }
+    }
+
+    #[test]
+    fn pinned_vm_never_leaves_its_node() {
+        let mut cfg = VmConfig::new(
+            "pinned",
+            2,
+            2 * GB,
+            AllocPolicy::OnNode(NodeId::new(1)),
+            vec![speccpu::soplex(); 2],
+        );
+        cfg.pin_node = Some(NodeId::new(1));
+        let mut m = MachineBuilder::new(presets::xeon_e5620())
+            .policy(Box::new(CreditPolicy::new()))
+            .add_vm(cfg)
+            .add_vm(VmConfig::new(
+                "other",
+                8,
+                4 * GB,
+                AllocPolicy::MostFree,
+                vec![npb::lu()],
+            ))
+            .build()
+            .unwrap();
+        m.run(SimDuration::from_secs(5));
+        m.check_invariants().unwrap();
+        // Both pinned VCPUs ran, entirely on node 1 ⇒ all accesses local.
+        let vm0 = &m.metrics().per_vm[0];
+        assert!(vm0.instructions > 0);
+        assert_eq!(vm0.remote_accesses, 0, "pinned next to its memory");
+    }
+
+    #[test]
+    fn weights_shift_cpu_shares() {
+        let build = |w1: u32, w2: u32| {
+            let mut a = VmConfig::new("a", 4, 2 * GB, AllocPolicy::MostFree, vec![
+                speccpu::povray(); 4
+            ]);
+            a.weight = w1;
+            let mut b = VmConfig::new("b", 4, 2 * GB, AllocPolicy::MostFree, vec![
+                speccpu::povray(); 4
+            ]);
+            b.weight = w2;
+            // 8 CPU-bound VCPUs on 4 PCPUs so weights can bite.
+            let topo = crate::machine::tests_helpers::quad_topo();
+            let mut m = MachineBuilder::new(topo)
+                .policy(Box::new(CreditPolicy::new()))
+                .add_vm(a)
+                .add_vm(b)
+                .build()
+                .unwrap();
+            m.run(SimDuration::from_secs(10));
+            let met = m.metrics();
+            met.per_vm[0].busy_us as f64 / met.per_vm[1].busy_us.max(1) as f64
+        };
+        let equal = build(256, 256);
+        assert!((0.8..1.25).contains(&equal), "equal weights ~equal: {equal}");
+        let skewed = build(512, 256);
+        assert!(
+            skewed > equal * 1.2,
+            "double weight should buy more CPU: {skewed} vs {equal}"
+        );
+    }
+
+    #[test]
+    fn page_migration_reduces_remote_accesses() {
+        use vprobe_test_policy::pm_policy;
+        // VM with memory on node0 but pinned... rather: a VM whose threads
+        // run wherever but whose memory is all on node0. The pm-enabled
+        // policy migrates pages toward each VCPU's assigned node.
+        let run = |pm: bool| {
+            let mut m = MachineBuilder::new(presets::xeon_e5620())
+                .policy(pm_policy(pm))
+                .add_vm(VmConfig::new(
+                    "vm1",
+                    8,
+                    6 * GB,
+                    AllocPolicy::OnNode(NodeId::new(0)),
+                    vec![npb::sp()],
+                ))
+                .add_vm(VmConfig::new(
+                    "vm2",
+                    8,
+                    6 * GB,
+                    AllocPolicy::OnNode(NodeId::new(0)),
+                    vec![npb::sp()],
+                ))
+                .build()
+                .unwrap();
+            m.run(SimDuration::from_secs(12));
+            let met = m.metrics().clone();
+            (met.per_vm[0].remote_ratio(), met.page_migration_bytes)
+        };
+        let (base_ratio, base_bytes) = run(false);
+        let (pm_ratio, pm_bytes) = run(true);
+        assert_eq!(base_bytes, 0);
+        assert!(pm_bytes > 0, "pages should move");
+        assert!(
+            pm_ratio < base_ratio,
+            "page migration should cut remote accesses: {pm_ratio} vs {base_ratio}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod vprobe_test_policy {
+    //! A minimal stand-in for the vprobe crate's policy (xen-sim cannot
+    //! depend on it): assigns every worker to both nodes round-robin and,
+    //! when enabled, requests page migration toward the assignment.
+    use super::*;
+    use crate::policy::{PageMigration, PartitionPlan};
+
+    struct RoundRobinPm {
+        pm: bool,
+    }
+
+    impl SchedPolicy for RoundRobinPm {
+        fn name(&self) -> &str {
+            "test-rr-pm"
+        }
+        fn on_sample(&mut self, view: AnalyzerView<'_>) -> PartitionPlan {
+            let mut assignments = Vec::new();
+            let mut page_migrations = Vec::new();
+            for (i, s) in view.samples.iter().enumerate() {
+                if s.instructions == 0 {
+                    continue;
+                }
+                let node = NodeId::new((i % 2) as u16);
+                let vcpu = VcpuId::new(i as u32);
+                assignments.push(crate::policy::VcpuAssignment {
+                    vcpu,
+                    node: Some(node),
+                });
+                if self.pm {
+                    page_migrations.push(PageMigration {
+                        vcpu,
+                        to_node: node,
+                        max_bytes: 256 * 1024 * 1024,
+                    });
+                }
+            }
+            PartitionPlan {
+                assignments,
+                hard: false,
+                page_migrations,
+            }
+        }
+        fn steal(&mut self, _ctx: StealContext<'_>) -> Option<(PcpuId, VcpuId)> {
+            None
+        }
+    }
+
+    pub fn pm_policy(pm: bool) -> Box<dyn SchedPolicy> {
+        Box::new(RoundRobinPm { pm })
+    }
+}
+
+#[cfg(test)]
+mod trace_and_serde_tests {
+    use super::tests_helpers::basic_machine_pub;
+    use super::*;
+    use crate::trace::Event;
+
+    #[test]
+    fn trace_records_scheduling_events() {
+        let mut m = basic_machine_pub();
+        m.enable_trace(100_000);
+        m.run(SimDuration::from_secs(3));
+        let trace = m.trace();
+        assert!(!trace.is_empty());
+        let switches = trace.count(|e| matches!(e, Event::SwitchIn { .. }));
+        assert!(switches > 100, "expected plenty of context switches: {switches}");
+        // Steal events in the trace agree with the metric counter (modulo
+        // ring eviction, which the capacity above prevents).
+        assert_eq!(trace.dropped(), 0);
+        let steals = trace.count(|e| matches!(e, Event::Steal { .. }));
+        assert_eq!(steals as u64, m.metrics().steals);
+    }
+
+    #[test]
+    fn disabled_trace_costs_nothing_and_stays_empty() {
+        let mut m = basic_machine_pub();
+        m.run(SimDuration::from_secs(1));
+        assert!(m.trace().is_empty());
+        assert!(!m.trace().is_enabled());
+    }
+
+    #[test]
+    fn metrics_serialize_round_trip() {
+        let mut m = basic_machine_pub();
+        m.run(SimDuration::from_secs(2));
+        let json = serde_json::to_string(m.metrics()).expect("serialize");
+        let back: RunMetrics = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.migrations, m.metrics().migrations);
+        assert_eq!(back.per_vm.len(), m.metrics().per_vm.len());
+        assert_eq!(
+            back.per_vm[0].instructions,
+            m.metrics().per_vm[0].instructions
+        );
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::tests_helpers::basic_machine_pub;
+    use super::*;
+
+    #[test]
+    fn zero_duration_run_is_a_noop() {
+        let mut m = basic_machine_pub();
+        m.run(SimDuration::ZERO);
+        assert_eq!(m.now(), sim_core::SimTime::ZERO);
+        assert_eq!(m.metrics().per_vm[0].instructions, 0);
+    }
+
+    #[test]
+    fn reset_metrics_clears_measurement_but_not_state() {
+        let mut m = basic_machine_pub();
+        m.run(SimDuration::from_secs(2));
+        let t = m.now();
+        assert!(m.metrics().per_vm[0].instructions > 0);
+        m.reset_metrics();
+        assert_eq!(m.metrics().per_vm[0].instructions, 0);
+        assert_eq!(m.metrics().elapsed, SimDuration::ZERO);
+        assert_eq!(m.now(), t, "simulated time keeps running");
+        m.run(SimDuration::from_secs(1));
+        assert!(m.metrics().per_vm[0].instructions > 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn throughput_series_tracks_periods() {
+        let mut m = basic_machine_pub();
+        m.run(SimDuration::from_secs(3));
+        let series = &m.metrics().throughput_series[0];
+        assert_eq!(series.len(), 3);
+        assert!(series.values().all(|v| v > 0.0));
+        let csv = m.metrics().series_csv();
+        assert!(csv.lines().count() > 3, "header plus rows: {csv}");
+        assert!(csv.starts_with("time_s,vm,remote_ratio,instr_per_s"));
+    }
+
+    #[test]
+    fn set_policy_mid_run_changes_behaviour() {
+        let mut m = basic_machine_pub();
+        m.run(SimDuration::from_secs(2));
+        assert_eq!(m.policy_name(), "credit");
+        m.set_policy(Box::new(crate::credit::CreditPolicy::new()));
+        m.run(SimDuration::from_secs(1));
+        m.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,161 @@
+//! Run measurement.
+
+use numa_topo::VmId;
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, TimeSeries};
+
+/// Aggregates for one VM over a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VmMetrics {
+    pub instructions: u64,
+    pub llc_refs: u64,
+    pub llc_misses: u64,
+    pub local_accesses: u64,
+    pub remote_accesses: u64,
+    /// Microseconds of PCPU time its VCPUs consumed.
+    pub busy_us: u64,
+}
+
+impl VmMetrics {
+    /// Total memory accesses (the paper's Fig. 4/5/6/7 (b) metric).
+    pub fn total_accesses(&self) -> u64 {
+        self.local_accesses + self.remote_accesses
+    }
+
+    /// Remote-access ratio (the Fig. 1 metric); 0 when idle.
+    pub fn remote_ratio(&self) -> f64 {
+        let t = self.total_accesses();
+        if t == 0 {
+            0.0
+        } else {
+            self.remote_accesses as f64 / t as f64
+        }
+    }
+
+    /// Achieved instruction rate per second of *wall* time `elapsed`.
+    pub fn instr_per_second(&self, elapsed: SimDuration) -> f64 {
+        let s = elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / s
+        }
+    }
+}
+
+/// Whole-run measurement.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    pub elapsed: SimDuration,
+    pub per_vm: Vec<VmMetrics>,
+    /// Total VCPU migrations between PCPUs.
+    pub migrations: u64,
+    /// Migrations that crossed NUMA nodes.
+    pub cross_node_migrations: u64,
+    /// Steal operations performed.
+    pub steals: u64,
+    /// Steal attempts (balance invocations).
+    pub steal_attempts: u64,
+    /// Attempts that found no candidates at all.
+    pub steal_attempts_empty: u64,
+    /// Steals broken down by the stolen VCPU's VM.
+    pub steals_per_vm: Vec<u64>,
+    /// Steals performed with an empty thief queue (true idleness) vs an
+    /// OVER-only queue (upgrade steals).
+    pub idle_steals: u64,
+    /// Partitioning-pass reassignments applied.
+    pub partition_moves: u64,
+    /// Page-migration operations applied (§VI extension).
+    pub page_migrations: u64,
+    /// Bytes moved by page migration.
+    pub page_migration_bytes: u64,
+    /// Quanta during which at least one PCPU idled while work was queued
+    /// elsewhere (a load-balance quality signal).
+    pub idle_with_work_quanta: u64,
+    /// "Overhead time" (PMU collection + partitioning) in microseconds.
+    pub overhead_us: f64,
+    /// Total busy PCPU time in microseconds.
+    pub busy_us: f64,
+    /// Per-VM remote-access ratio per sampling period.
+    pub remote_ratio_series: Vec<TimeSeries>,
+    /// Per-VM instruction throughput (instructions/s) per sampling period.
+    pub throughput_series: Vec<TimeSeries>,
+}
+
+impl RunMetrics {
+    pub fn new(num_vms: usize) -> Self {
+        RunMetrics {
+            per_vm: vec![VmMetrics::default(); num_vms],
+            remote_ratio_series: vec![TimeSeries::new(); num_vms],
+            throughput_series: vec![TimeSeries::new(); num_vms],
+            steals_per_vm: vec![0; num_vms],
+            ..Default::default()
+        }
+    }
+
+    pub fn vm(&self, vm: VmId) -> &VmMetrics {
+        &self.per_vm[vm.index()]
+    }
+
+    /// Render every per-VM time series as CSV
+    /// (`time_s,vm,remote_ratio,instr_per_s` rows) for plotting.
+    pub fn series_csv(&self) -> String {
+        let mut out = String::from("time_s,vm,remote_ratio,instr_per_s\n");
+        for (vm, (rr, tp)) in self
+            .remote_ratio_series
+            .iter()
+            .zip(&self.throughput_series)
+            .enumerate()
+        {
+            for (&(t, r), &(_, ips)) in rr.points().iter().zip(tp.points()) {
+                out.push_str(&format!("{:.3},{},{:.4},{:.4e}\n", t.as_secs_f64(), vm, r, ips));
+            }
+        }
+        out
+    }
+
+    /// Table III's metric: overhead time as a percentage of execution time.
+    pub fn overhead_percent(&self) -> f64 {
+        if self.busy_us <= 0.0 {
+            0.0
+        } else {
+            self.overhead_us / self.busy_us * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_metric_derivations() {
+        let m = VmMetrics {
+            instructions: 1_000,
+            llc_refs: 100,
+            llc_misses: 50,
+            local_accesses: 10,
+            remote_accesses: 40,
+            busy_us: 1_000,
+        };
+        assert_eq!(m.total_accesses(), 50);
+        assert!((m.remote_ratio() - 0.8).abs() < 1e-12);
+        assert!((m.instr_per_second(SimDuration::from_secs(2)) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_vm_is_zero() {
+        let m = VmMetrics::default();
+        assert_eq!(m.remote_ratio(), 0.0);
+        assert_eq!(m.instr_per_second(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn overhead_percent() {
+        let mut r = RunMetrics::new(1);
+        r.overhead_us = 10.0;
+        r.busy_us = 100_000.0;
+        assert!((r.overhead_percent() - 0.01).abs() < 1e-9);
+        assert_eq!(RunMetrics::new(0).overhead_percent(), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Per-PCPU run queue.
+//!
+//! Queue order is FIFO; priority classes (BOOST > UNDER > OVER) are
+//! evaluated *at selection time* against the scheduler's current credit
+//! state, not frozen at insertion: credits — and therefore priorities —
+//! change while a VCPU waits (accounting promotes waiting VCPUs back to
+//! UNDER), and both the local pick and the steal logic must see the fresh
+//! class or re-promoted VCPUs become invisible to balancing.
+
+use crate::vcpu::Priority;
+use numa_topo::VcpuId;
+use std::collections::VecDeque;
+
+/// FIFO of runnable VCPUs; priorities are resolved through a lookup at
+/// query time.
+#[derive(Debug, Clone, Default)]
+pub struct RunQueue {
+    q: VecDeque<VcpuId>,
+}
+
+impl RunQueue {
+    pub fn new() -> Self {
+        RunQueue::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Enqueue at the tail.
+    pub fn push(&mut self, vcpu: VcpuId) {
+        self.q.push_back(vcpu);
+    }
+
+    /// Dequeue the first VCPU of the best priority class currently present
+    /// (FIFO within a class).
+    pub fn pop_best(&mut self, prio: impl Fn(VcpuId) -> Priority) -> Option<(VcpuId, Priority)> {
+        let best = self.head_priority(&prio)?;
+        let pos = self
+            .q
+            .iter()
+            .position(|&v| prio(v) == best)
+            .expect("head_priority implies a member of that class");
+        let v = self.q.remove(pos).expect("position is in range");
+        Some((v, best))
+    }
+
+    /// Best priority class currently present.
+    pub fn head_priority(&self, prio: impl Fn(VcpuId) -> Priority) -> Option<Priority> {
+        self.q.iter().map(|&v| prio(v)).min()
+    }
+
+    /// Remove a specific VCPU wherever it sits. Returns true if present.
+    pub fn remove(&mut self, vcpu: VcpuId) -> bool {
+        if let Some(pos) = self.q.iter().position(|&v| v == vcpu) {
+            self.q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All queued VCPUs in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = VcpuId> + '_ {
+        self.q.iter().copied()
+    }
+
+    /// Queued VCPUs whose current priority is at least `min` (i.e. `<=
+    /// min` in the `Boost < Under < Over` ordering), in FIFO order — the
+    /// candidates a stealing PCPU may take when `min` is the best it could
+    /// otherwise run.
+    pub fn iter_at_least<'a>(
+        &'a self,
+        min: Priority,
+        prio: impl Fn(VcpuId) -> Priority + 'a,
+    ) -> impl Iterator<Item = VcpuId> + 'a {
+        self.q.iter().copied().filter(move |&v| prio(v) <= min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn v(i: u32) -> VcpuId {
+        VcpuId::new(i)
+    }
+
+    fn table(entries: &[(u32, Priority)]) -> HashMap<VcpuId, Priority> {
+        entries.iter().map(|&(i, p)| (v(i), p)).collect()
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut q = RunQueue::new();
+        q.push(v(1));
+        q.push(v(2));
+        let t = table(&[(1, Priority::Under), (2, Priority::Under)]);
+        let prio = |x: VcpuId| t[&x];
+        assert_eq!(q.pop_best(prio), Some((v(1), Priority::Under)));
+        assert_eq!(q.pop_best(prio), Some((v(2), Priority::Under)));
+        assert_eq!(q.pop_best(prio), None);
+    }
+
+    #[test]
+    fn better_class_pops_first_regardless_of_insert_order() {
+        let mut q = RunQueue::new();
+        q.push(v(1)); // over
+        q.push(v(2)); // under
+        q.push(v(3)); // boost
+        let t = table(&[
+            (1, Priority::Over),
+            (2, Priority::Under),
+            (3, Priority::Boost),
+        ]);
+        let prio = |x: VcpuId| t[&x];
+        assert_eq!(q.head_priority(prio), Some(Priority::Boost));
+        assert_eq!(q.pop_best(prio), Some((v(3), Priority::Boost)));
+        assert_eq!(q.pop_best(prio), Some((v(2), Priority::Under)));
+        assert_eq!(q.pop_best(prio), Some((v(1), Priority::Over)));
+    }
+
+    #[test]
+    fn priority_change_while_queued_is_visible() {
+        // The regression this design exists for: a VCPU enqueued OVER gets
+        // promoted to UNDER by accounting while waiting and must become
+        // visible to the picker and to thieves immediately.
+        let mut q = RunQueue::new();
+        q.push(v(1));
+        let over = table(&[(1, Priority::Over)]);
+        assert_eq!(q.head_priority(|x| over[&x]), Some(Priority::Over));
+        let under = table(&[(1, Priority::Under)]);
+        assert_eq!(q.head_priority(|x| under[&x]), Some(Priority::Under));
+        let stealable: Vec<_> = q.iter_at_least(Priority::Under, |x| under[&x]).collect();
+        assert_eq!(stealable, vec![v(1)]);
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut q = RunQueue::new();
+        q.push(v(1));
+        q.push(v(2));
+        assert!(q.remove(v(1)));
+        assert!(!q.remove(v(1)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert!(q.remove(v(2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn iter_at_least_filters_by_current_priority() {
+        let mut q = RunQueue::new();
+        q.push(v(1));
+        q.push(v(2));
+        q.push(v(3));
+        let t = table(&[
+            (1, Priority::Under),
+            (2, Priority::Over),
+            (3, Priority::Boost),
+        ]);
+        let prio = |x: VcpuId| t[&x];
+        let boost_only: Vec<_> = q.iter_at_least(Priority::Boost, prio).collect();
+        assert_eq!(boost_only, vec![v(3)]);
+        let upgrades: Vec<_> = q.iter_at_least(Priority::Under, prio).collect();
+        assert_eq!(upgrades, vec![v(1), v(3)]);
+        let all: Vec<_> = q.iter_at_least(Priority::Over, prio).collect();
+        assert_eq!(all, vec![v(1), v(2), v(3)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn arb_queue() -> impl Strategy<Value = (Vec<u32>, HashMap<u32, Priority>)> {
+        prop::collection::vec((0u32..32, 0u8..3), 0..16).prop_map(|entries| {
+            let mut seen = std::collections::HashSet::new();
+            let mut ids = Vec::new();
+            let mut prios = HashMap::new();
+            for (id, p) in entries {
+                if seen.insert(id) {
+                    ids.push(id);
+                    prios.insert(
+                        id,
+                        match p {
+                            0 => Priority::Boost,
+                            1 => Priority::Under,
+                            _ => Priority::Over,
+                        },
+                    );
+                }
+            }
+            (ids, prios)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn pop_best_returns_best_class_in_fifo_order((ids, prios) in arb_queue()) {
+            let mut q = RunQueue::new();
+            for &id in &ids {
+                q.push(VcpuId::new(id));
+            }
+            let prio = |v: VcpuId| prios[&v.raw()];
+            let mut last: Option<Priority> = None;
+            let mut popped = Vec::new();
+            while let Some((v, p)) = q.pop_best(prio) {
+                // The popped priority is the minimum among what remained.
+                if let Some(best_left) = q.head_priority(prio) {
+                    prop_assert!(p <= best_left);
+                }
+                let _ = last.replace(p);
+                popped.push(v.raw());
+            }
+            prop_assert_eq!(popped.len(), ids.len(), "everything pops exactly once");
+            // FIFO within a class: filter the original order per class and
+            // compare against the pops of that class.
+            for class in [Priority::Boost, Priority::Under, Priority::Over] {
+                let expect: Vec<u32> =
+                    ids.iter().copied().filter(|i| prios[i] == class).collect();
+                let got: Vec<u32> = popped
+                    .iter()
+                    .copied()
+                    .filter(|i| prios[i] == class)
+                    .collect();
+                prop_assert_eq!(expect, got, "FIFO broken in {:?}", class);
+            }
+        }
+
+        #[test]
+        fn iter_at_least_is_a_filter_of_iter((ids, prios) in arb_queue()) {
+            let mut q = RunQueue::new();
+            for &id in &ids {
+                q.push(VcpuId::new(id));
+            }
+            let prio = |v: VcpuId| prios[&v.raw()];
+            for min in [Priority::Boost, Priority::Under, Priority::Over] {
+                let filtered: Vec<VcpuId> = q.iter().filter(|&v| prio(v) <= min).collect();
+                let direct: Vec<VcpuId> = q.iter_at_least(min, &prio).collect();
+                prop_assert_eq!(filtered, direct);
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Scheduling-event tracing.
+//!
+//! A bounded in-memory log of the decisions the machine makes — context
+//! switches, steals, partition migrations, wakeups, sampling passes — in
+//! the spirit of `xentrace`. Disabled by default (zero overhead beyond a
+//! branch); when enabled it lets tests and tools audit *why* a schedule
+//! came out the way it did, and gives examples something to print.
+
+use numa_topo::{NodeId, PcpuId, VcpuId};
+use serde::{Deserialize, Serialize};
+use sim_core::SimTime;
+use std::collections::VecDeque;
+
+/// One traced scheduling event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// `vcpu` started running on `pcpu`.
+    SwitchIn { vcpu: VcpuId, pcpu: PcpuId },
+    /// `thief` stole `vcpu` from `victim`'s queue.
+    Steal {
+        thief: PcpuId,
+        victim: PcpuId,
+        vcpu: VcpuId,
+        cross_node: bool,
+    },
+    /// The partitioning pass moved `vcpu` to `node`.
+    PartitionMove { vcpu: VcpuId, node: NodeId },
+    /// A timer idler woke onto `pcpu`.
+    IdlerWake { vcpu: VcpuId, pcpu: PcpuId },
+    /// A sampling period closed (`periods` completed so far).
+    SamplePeriod { periods: u64 },
+    /// Pages migrated for `vcpu` toward `node`.
+    PageMigration {
+        vcpu: VcpuId,
+        node: NodeId,
+        bytes: u64,
+    },
+}
+
+/// A bounded ring of timestamped events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<(SimTime, Event)>,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// A disabled log (records nothing).
+    pub fn disabled() -> Self {
+        TraceLog::default()
+    }
+
+    /// An enabled log keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be nonzero");
+        TraceLog {
+            enabled: true,
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled). Oldest events are dropped
+    /// once the ring is full.
+    pub fn record(&mut self, t: SimTime, e: Event) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((t, e));
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, Event)> {
+        self.events.iter()
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Render as `xentrace`-style lines.
+    pub fn to_lines(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|(t, e)| match e {
+                Event::SwitchIn { vcpu, pcpu } => format!("{t} switch_in  {vcpu} -> {pcpu}"),
+                Event::Steal {
+                    thief,
+                    victim,
+                    vcpu,
+                    cross_node,
+                } => format!(
+                    "{t} steal      {thief} <- {victim} ({vcpu}{})",
+                    if *cross_node { ", cross-node" } else { "" }
+                ),
+                Event::PartitionMove { vcpu, node } => {
+                    format!("{t} partition  {vcpu} -> {node}")
+                }
+                Event::IdlerWake { vcpu, pcpu } => format!("{t} idler_wake {vcpu} on {pcpu}"),
+                Event::SamplePeriod { periods } => format!("{t} sample     period #{periods}"),
+                Event::PageMigration { vcpu, node, bytes } => {
+                    format!("{t} page_mig   {vcpu} -> {node} ({bytes} bytes)")
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.record(
+            t(1),
+            Event::SwitchIn {
+                vcpu: VcpuId::new(0),
+                pcpu: PcpuId::new(0),
+            },
+        );
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut log = TraceLog::with_capacity(2);
+        for i in 0..5 {
+            log.record(t(i), Event::SamplePeriod { periods: i });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let kept: Vec<u64> = log
+            .iter()
+            .map(|(_, e)| match e {
+                Event::SamplePeriod { periods } => *periods,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn count_and_lines() {
+        let mut log = TraceLog::with_capacity(16);
+        log.record(
+            t(1),
+            Event::Steal {
+                thief: PcpuId::new(4),
+                victim: PcpuId::new(0),
+                vcpu: VcpuId::new(7),
+                cross_node: true,
+            },
+        );
+        log.record(
+            t(2),
+            Event::PartitionMove {
+                vcpu: VcpuId::new(7),
+                node: NodeId::new(1),
+            },
+        );
+        assert_eq!(log.count(|e| matches!(e, Event::Steal { .. })), 1);
+        let lines = log.to_lines();
+        assert!(lines[0].contains("cross-node"));
+        assert!(lines[1].contains("partition"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Server-consolidation scenario: heterogeneous VMs sharing one NUMA box.
+//!
+//! A common cloud pattern the paper's introduction motivates: a database
+//! VM (redis), a web-cache VM (memcached), a batch-analytics VM (SPEC-like
+//! soplex instances), and a background-compute VM share one two-socket
+//! host. The example sweeps all five schedulers and reports each VM's
+//! throughput so you can see who pays for NUMA-oblivious scheduling.
+//!
+//! ```sh
+//! cargo run --release --example consolidation
+//! ```
+
+use mem_model::AllocPolicy;
+use numa_topo::presets;
+use sim_core::SimDuration;
+use vprobe::{variants, Bounds, BrmPolicy};
+use workloads::{kv, speccpu};
+use xen_sim::{CreditPolicy, MachineBuilder, SchedPolicy, VmConfig};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+fn policy(name: &str) -> Box<dyn SchedPolicy> {
+    match name {
+        "Credit" => Box::new(CreditPolicy::new()),
+        "vProbe" => Box::new(variants::vprobe(2, Bounds::default())),
+        "VCPU-P" => Box::new(variants::vcpu_p(2, Bounds::default())),
+        "LB" => Box::new(variants::lb_only(2, Bounds::default())),
+        "BRM" => Box::new(BrmPolicy::new(7)),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    println!("Consolidated host: redis + memcached + batch analytics + background compute\n");
+    println!(
+        "{:8}  {:>12}  {:>12}  {:>12}  {:>10}",
+        "sched", "redis req/s", "mc ops/s", "batch Gi/s", "remote %"
+    );
+
+    for name in ["Credit", "vProbe", "VCPU-P", "LB", "BRM"] {
+        let mut machine = MachineBuilder::new(presets::xeon_e5620())
+            .policy(policy(name))
+            .add_vm(VmConfig::new(
+                "redis-db",
+                4,
+                6 * GB,
+                AllocPolicy::MostFree,
+                vec![kv::redis(4_000)],
+            ))
+            .add_vm(VmConfig::new(
+                "web-cache",
+                8,
+                4 * GB,
+                AllocPolicy::MostFree,
+                vec![kv::memcached(64)],
+            ))
+            .add_vm(VmConfig::new(
+                "analytics",
+                4,
+                4 * GB,
+                AllocPolicy::MostFree,
+                vec![speccpu::soplex(); 4],
+            ))
+            .add_vm(VmConfig::new(
+                "background",
+                2,
+                GB,
+                AllocPolicy::MostFree,
+                vec![workloads::hungry::hungry_loop(); 2],
+            ))
+            .build()
+            .expect("valid configuration");
+        machine.run(SimDuration::from_secs(30));
+        let m = machine.metrics();
+        let elapsed = m.elapsed;
+
+        let redis_rate = m.per_vm[0].instr_per_second(elapsed);
+        let mc_rate = m.per_vm[1].instr_per_second(elapsed);
+        let batch_rate = m.per_vm[2].instr_per_second(elapsed);
+        let remote: u64 = m.per_vm.iter().map(|v| v.remote_accesses).sum();
+        let total: u64 = m.per_vm.iter().map(|v| v.total_accesses()).sum();
+
+        println!(
+            "{:8}  {:>12.0}  {:>12.0}  {:>12.2}  {:>9.1}%",
+            name,
+            kv::ops_per_second(&kv::redis(4_000), redis_rate),
+            kv::ops_per_second(&kv::memcached(64), mc_rate),
+            batch_rate / 1e9,
+            remote as f64 / total.max(1) as f64 * 100.0,
+        );
+    }
+    println!("\n(30 simulated seconds per scheduler; all VMs share the Table I machine)");
+}

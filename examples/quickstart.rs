@@ -1,0 +1,74 @@
+//! Quickstart: build the paper's machine, run vProbe against Credit on a
+//! memory-intensive workload, and print the comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mem_model::AllocPolicy;
+use numa_topo::presets;
+use sim_core::SimDuration;
+use vprobe::{variants, Bounds};
+use workloads::{hungry, npb};
+use xen_sim::{CreditPolicy, Machine, MachineBuilder, SchedPolicy, VmConfig};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+fn build(policy: Box<dyn SchedPolicy>) -> Machine {
+    // The paper's testbed: two quad-core Xeon E5620 sockets (Table I).
+    let topo = presets::xeon_e5620();
+    MachineBuilder::new(topo)
+        .policy(policy)
+        // VM1: the measured VM — 8 VCPUs, memory split across both nodes,
+        // running the 4-threaded NPB `sp` solver (the paper's best case).
+        .add_vm(VmConfig::new(
+            "vm1",
+            8,
+            15 * GB,
+            AllocPolicy::SplitEven,
+            vec![npb::sp()],
+        ))
+        // VM2: same workload as interference.
+        .add_vm(VmConfig::new(
+            "vm2",
+            8,
+            5 * GB,
+            AllocPolicy::MostFree,
+            vec![npb::sp()],
+        ))
+        // VM3: eight hungry loops keeping every PCPU busy.
+        .add_vm(VmConfig::new(
+            "vm3",
+            8,
+            GB,
+            AllocPolicy::MostFree,
+            vec![hungry::hungry_loop(); 8],
+        ))
+        .build()
+        .expect("valid configuration")
+}
+
+fn measure(name: &str, policy: Box<dyn SchedPolicy>) -> f64 {
+    let mut machine = build(policy);
+    machine.run(SimDuration::from_secs(30));
+    let m = machine.metrics();
+    let vm1 = &m.per_vm[0];
+    let rate = vm1.instr_per_second(m.elapsed);
+    println!(
+        "{name:8}  {:.2e} instr/s   remote accesses {:5.1}%   {} cross-node migrations",
+        rate,
+        vm1.remote_ratio() * 100.0,
+        m.cross_node_migrations,
+    );
+    rate
+}
+
+fn main() {
+    println!("vProbe quickstart — NPB `sp` under interference on the Table I machine\n");
+    let credit = measure("Credit", Box::new(CreditPolicy::new()));
+    let vprobe = measure("vProbe", Box::new(variants::vprobe(2, Bounds::default())));
+    println!(
+        "\nvProbe speedup over Credit: {:.1}%",
+        (vprobe / credit - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the vProbe reproduction workspace.
+//!
+//! Re-exports every layer so examples and integration tests can reach the
+//! full stack through one dependency:
+//!
+//! * [`vprobe`] — the paper's contribution (analyzer, Algorithm 1,
+//!   Algorithm 2, and the VCPU-P / LB / BRM baselines);
+//! * [`xen_sim`] — the Credit-scheduler hypervisor substrate;
+//! * [`mem_model`], [`numa_topo`], [`pmu`], [`workloads`] — the machine
+//!   model underneath;
+//! * [`experiments`] — the per-figure/table regeneration harness.
+
+pub use experiments;
+pub use mem_model;
+pub use numa_topo;
+pub use pmu;
+pub use sim_core;
+pub use vprobe;
+pub use workloads;
+pub use xen_sim;

@@ -1,0 +1,115 @@
+//! Workspace-level property tests: invariants that must hold across the
+//! whole stack for arbitrary configurations.
+
+use mem_model::AllocPolicy;
+use numa_topo::{presets, NodeConfig, TopologyBuilder};
+use proptest::prelude::*;
+use sim_core::SimDuration;
+use vprobe::{variants, Bounds};
+use workloads::{npb, speccpu, WorkloadSpec};
+use xen_sim::{CreditPolicy, MachineBuilder, VmConfig};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        Just(speccpu::soplex()),
+        Just(speccpu::libquantum()),
+        Just(speccpu::milc()),
+        Just(npb::lu()),
+        Just(npb::sp()),
+        Just(npb::ep()),
+        Just(workloads::hungry::hungry_loop()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation: every memory access a VM makes is either local or
+    /// remote, and per-node counts sum to the total, for any workload mix
+    /// and either scheduler family.
+    #[test]
+    fn access_accounting_is_conserved(
+        w1 in arb_workload(),
+        w2 in arb_workload(),
+        use_vprobe in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let topo = presets::xeon_e5620();
+        let policy: Box<dyn xen_sim::SchedPolicy> = if use_vprobe {
+            Box::new(variants::vprobe(2, Bounds::default()))
+        } else {
+            Box::new(CreditPolicy::new())
+        };
+        let mut machine = MachineBuilder::new(topo)
+            .policy(policy)
+            .seed(seed)
+            .add_vm(VmConfig::new("a", 8, 6 * GB, AllocPolicy::SplitEven, vec![w1]))
+            .add_vm(VmConfig::new("b", 8, 4 * GB, AllocPolicy::MostFree, vec![w2]))
+            .build()
+            .unwrap();
+        machine.run(SimDuration::from_secs(3));
+        for vm in &machine.metrics().per_vm {
+            prop_assert_eq!(
+                vm.local_accesses + vm.remote_accesses,
+                vm.total_accesses()
+            );
+            prop_assert!(vm.llc_misses <= vm.llc_refs);
+            prop_assert!(vm.total_accesses() == vm.llc_misses);
+        }
+    }
+
+    /// Machine capacity: total busy time can never exceed
+    /// PCPUs × elapsed, on any machine shape.
+    #[test]
+    fn busy_time_bounded_by_capacity(
+        nodes in 1usize..4,
+        cores in 2u16..6,
+        seed in 0u64..1000,
+    ) {
+        let topo = TopologyBuilder::new(2_400)
+            .add_nodes(NodeConfig::e5620_node(), cores, nodes)
+            .fully_connected_qpi()
+            .build()
+            .unwrap();
+        let pcpus = topo.num_pcpus() as u64;
+        let vcpus = (pcpus as usize).min(8);
+        let mut machine = MachineBuilder::new(topo)
+            .policy(Box::new(variants::vprobe(nodes, Bounds::default())))
+            .seed(seed)
+            .add_vm(VmConfig::new(
+                "vm",
+                vcpus,
+                2 * GB,
+                AllocPolicy::MostFree,
+                vec![speccpu::soplex(); vcpus],
+            ))
+            .build()
+            .unwrap();
+        let secs = 2u64;
+        machine.run(SimDuration::from_secs(secs));
+        let busy: u64 = machine.metrics().per_vm.iter().map(|v| v.busy_us).sum();
+        prop_assert!(busy <= pcpus * secs * 1_000_000);
+    }
+
+    /// NUMA-degenerate control: on a single-node (UMA) machine the
+    /// NUMA-aware scheduler must produce zero remote accesses and zero
+    /// cross-node migrations — and must not crash.
+    #[test]
+    fn uma_machine_has_no_remote_traffic(w in arb_workload(), seed in 0u64..1000) {
+        let topo = presets::uma_quad();
+        let mut machine = MachineBuilder::new(topo)
+            .policy(Box::new(variants::vprobe(1, Bounds::default())))
+            .seed(seed)
+            .add_vm(VmConfig::new("vm", 4, 2 * GB, AllocPolicy::MostFree, vec![w]))
+            .build()
+            .unwrap();
+        machine.run(SimDuration::from_secs(3));
+        let m = machine.metrics();
+        prop_assert_eq!(m.cross_node_migrations, 0);
+        for vm in &m.per_vm {
+            prop_assert_eq!(vm.remote_accesses, 0);
+        }
+    }
+}
