@@ -1,0 +1,88 @@
+//! Simulator hot-loop benchmarks at three granularities: one quantum of
+//! `Machine::run`, a full 30-second simulated run, and a whole-scheduler
+//! sweep through the experiment runner. Together they track the cost of
+//! the per-quantum path (profile lookup, credit bookkeeping, memory-engine
+//! resolution) and how it compounds into experiment wall-clock time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::runner::{run_all_schedulers, SetupKind};
+use mem_model::AllocPolicy;
+use numa_topo::presets;
+use sim_core::SimDuration;
+use vprobe_bench::bench_opts;
+use workloads::{hungry, npb};
+use xen_sim::{CreditPolicy, Machine, MachineBuilder, VmConfig};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+/// The oversubscribed three-VM setup the simulator unit tests pin their
+/// golden trajectory on: 16 worker VCPUs plus 8 timer idlers on 8 PCPUs.
+fn machine() -> Machine {
+    MachineBuilder::new(presets::xeon_e5620())
+        .policy(Box::new(CreditPolicy::new()))
+        .add_vm(VmConfig::new("vm1", 8, 8 * GB, AllocPolicy::MostFree, vec![npb::lu()]))
+        .add_vm(VmConfig::new("vm2", 8, 5 * GB, AllocPolicy::MostFree, vec![npb::lu()]))
+        .add_vm(VmConfig::new(
+            "vm3",
+            8,
+            GB,
+            AllocPolicy::MostFree,
+            vec![hungry::hungry_loop(); 8],
+        ))
+        .build()
+        .unwrap()
+}
+
+fn step_quantum(c: &mut Criterion) {
+    // One 1 ms quantum per iteration on a warmed machine; simulated time
+    // keeps advancing across iterations, which is what the steady-state
+    // hot loop looks like.
+    let mut m = machine();
+    m.run(SimDuration::from_secs(1));
+    c.bench_function("hotloop/step_quantum", |b| {
+        b.iter(|| m.run(SimDuration::from_millis(1)).elapsed)
+    });
+}
+
+fn run_30s(c: &mut Criterion) {
+    c.bench_function("hotloop/run_30s_sim", |b| {
+        b.iter(|| {
+            let mut m = machine();
+            m.run(SimDuration::from_secs(30));
+            m.metrics().per_vm[0].instructions
+        })
+    });
+}
+
+fn full_sweep(c: &mut Criterion) {
+    // One scheduler sweep (Credit, BRM, vProbe over the same workload)
+    // through the same runner the repro binary uses; honors the parallel
+    // fan-out, so on a multi-core host this also exercises `--jobs`.
+    let opts = bench_opts();
+    c.bench_function("hotloop/full_scheduler_sweep", |b| {
+        b.iter(|| {
+            run_all_schedulers(
+                SetupKind::PaperEval,
+                vec![npb::sp()],
+                vec![npb::sp()],
+                &opts,
+            )
+            .unwrap()
+            .len()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10))
+        .warm_up_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = hotloop;
+    config = config();
+    targets = step_quantum, run_30s, full_sweep
+}
+criterion_main!(hotloop);

@@ -73,18 +73,20 @@ fn steal_bench(c: &mut Criterion) {
 fn engine_bench(c: &mut Criterion) {
     let topo = presets::xeon_e5620();
     let mut engine = MemoryEngine::new(&topo);
+    let profile = AccessProfile {
+        rpti: 20.0,
+        base_cpi: 1.0,
+        miss_curve: MissCurve::new(0.1, 0.8, 16 * 1024 * 1024),
+        mlp: 3.0,
+        node_access_dist: vec![0.6, 0.4],
+    };
     let usages: Vec<QuantumUsage> = (0..8)
         .map(|i| QuantumUsage {
             key: i,
             node: NodeId::new((i % 2) as u16),
             runtime_share: 1.0,
-            profile: AccessProfile {
-                rpti: 20.0,
-                base_cpi: 1.0,
-                miss_curve: MissCurve::new(0.1, 0.8, 16 * 1024 * 1024),
-                mlp: 3.0,
-                node_access_dist: vec![0.6, 0.4],
-            },
+            profile: &profile,
+            rpti_scale: 1.0,
             cold_miss_boost: 1.0,
             overhead_us: 0.0,
         })

@@ -12,10 +12,9 @@
 use crate::bounds::Bounds;
 use numa_topo::NodeId;
 use pmu::PmuSample;
-use serde::{Deserialize, Serialize};
 
 /// The paper's VCPU taxonomy (LLC-FR / LLC-FI / LLC-T).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VcpuType {
     Friendly,
     Fitting,
@@ -30,7 +29,7 @@ impl VcpuType {
 }
 
 /// Analyzer output for one VCPU for one period.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VcpuMeta {
     pub pressure: f64,
     pub vcpu_type: VcpuType,

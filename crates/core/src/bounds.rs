@@ -7,10 +7,9 @@
 //! libquantum 22.41). §VI lists *dynamic* bounds as future work; a
 //! quantile-tracking implementation is provided here as [`DynamicBounds`].
 
-use serde::{Deserialize, Serialize};
 
 /// Static classification bounds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bounds {
     /// Below: LLC-friendly. The paper's value is 3.
     pub low: f64,

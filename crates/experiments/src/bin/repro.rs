@@ -1,32 +1,50 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```sh
-//! repro all            # everything, paper-scale windows (~10 min)
+//! repro all            # everything, paper-scale windows
 //! repro fig4 fig8      # a selection
-//! repro --quick all    # short windows (~1 min), for smoke runs
+//! repro --quick all    # short windows, for smoke runs
 //! repro --csv DIR all  # additionally write one CSV per artifact
+//! repro --jobs 1 all   # sequential (identical output, slower)
+//! repro --seed 7 all   # override the simulation seed
 //! ```
+//!
+//! Every invocation also records per-artifact and total wall-clock time in
+//! `BENCH_repro.json` (merged across runs, keyed by job count), so a
+//! parallel run and a `--jobs 1` run of the same selection can be compared
+//! directly. Results are bit-identical regardless of `--jobs`.
 
 use experiments::report::Table;
 use experiments::runner::RunOptions;
 use experiments::{
     fig1_remote_ratio, fig3_bounds, fig4_spec, fig5_npb, fig6_memcached, fig7_redis, fig8_period,
-    table3_overhead,
+    parallel, table3_overhead,
 };
-use sim_core::SimDuration;
+use sim_core::{Json, SimDuration};
 use std::path::PathBuf;
+use std::time::Instant;
 
 const ARTIFACTS: [&str; 10] = [
     "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "fig8", "ext-pagemig", "ext-scaling",
 ];
 
+const BENCH_FILE: &str = "BENCH_repro.json";
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = take_flag(&mut args, "--quick");
     let csv_dir = take_value(&mut args, "--csv").map(PathBuf::from);
+    let jobs = take_value(&mut args, "--jobs").map(|v| parse_num(&v, "--jobs"));
+    let seed = take_value(&mut args, "--seed").map(|v| parse_num(&v, "--seed"));
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--quick] [--csv DIR] all | {}", ARTIFACTS.join(" | "));
+        eprintln!(
+            "usage: repro [--quick] [--csv DIR] [--jobs N] [--seed N] all | {}",
+            ARTIFACTS.join(" | ")
+        );
         std::process::exit(2);
+    }
+    if let Some(j) = jobs {
+        parallel::set_jobs(j as usize);
     }
     let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
         ARTIFACTS.to_vec()
@@ -40,7 +58,7 @@ fn main() {
         }
     }
 
-    let opts = if quick {
+    let mut opts = if quick {
         RunOptions {
             duration: SimDuration::from_secs(10),
             warmup: SimDuration::from_secs(4),
@@ -53,9 +71,16 @@ fn main() {
             ..RunOptions::default()
         }
     };
+    if let Some(s) = seed {
+        opts.seed = s;
+    }
 
-    for name in selected {
+    let total = Instant::now();
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    for name in &selected {
+        let started = Instant::now();
         let table = generate(name, &opts);
+        timings.push((name.to_string(), started.elapsed().as_secs_f64()));
         println!("{}", table.to_text());
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
@@ -64,6 +89,10 @@ fn main() {
             eprintln!("wrote {}", path.display());
         }
     }
+    let total_s = total.elapsed().as_secs_f64();
+    let effective_jobs = parallel::configured_jobs();
+    eprintln!("total wall time: {total_s:.2} s ({effective_jobs} jobs)");
+    record_bench(effective_jobs, quick, &timings, total_s);
 }
 
 fn generate(name: &str, opts: &RunOptions) -> Table {
@@ -84,6 +113,54 @@ fn generate(name: &str, opts: &RunOptions) -> Table {
         ),
         _ => unreachable!("validated above"),
     }
+}
+
+/// Merge this run's wall-clock numbers into `BENCH_repro.json`, keyed by
+/// job count, so sequential and parallel timings of the same selection
+/// sit side by side.
+fn record_bench(jobs: usize, quick: bool, timings: &[(String, f64)], total_s: f64) {
+    let mut doc = std::fs::read_to_string(BENCH_FILE)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .and_then(|j| match j {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let artifacts = Json::Obj(
+        timings
+            .iter()
+            .map(|(name, s)| (name.clone(), Json::Num(round3(*s))))
+            .collect(),
+    );
+    let entry = Json::Obj(vec![
+        ("jobs".into(), Json::from(jobs)),
+        ("quick".into(), Json::from(quick)),
+        ("total_wall_s".into(), Json::Num(round3(total_s))),
+        ("artifact_wall_s".into(), artifacts),
+    ]);
+    let key = format!("jobs_{jobs}");
+    match doc.iter_mut().find(|(k, _)| *k == key) {
+        Some(slot) => slot.1 = entry,
+        None => doc.push((key, entry)),
+    }
+    let text = Json::Obj(doc).to_string_pretty();
+    if let Err(e) = std::fs::write(BENCH_FILE, text) {
+        eprintln!("warning: cannot write {BENCH_FILE}: {e}");
+    } else {
+        eprintln!("recorded timings in {BENCH_FILE}");
+    }
+}
+
+fn round3(s: f64) -> f64 {
+    (s * 1000.0).round() / 1000.0
+}
+
+fn parse_num(v: &str, flag: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a non-negative integer, got '{v}'");
+        std::process::exit(2);
+    })
 }
 
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {

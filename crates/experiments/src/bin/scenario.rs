@@ -2,9 +2,12 @@
 //!
 //! ```sh
 //! scenario path/to/scenario.json
+//! scenario --seed 9 path/to/scenario.json   # override the file's seed
+//! scenario --jobs 1 path/to/scenario.json   # worker-thread count
 //! scenario --print-example
 //! ```
 
+use experiments::parallel;
 use experiments::scenario::Scenario;
 
 const EXAMPLE: &str = r#"{
@@ -23,7 +26,12 @@ const EXAMPLE: &str = r#"{
 }"#;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = take_value(&mut args, "--jobs").map(|v| parse_num(&v, "--jobs"));
+    let seed = take_value(&mut args, "--seed").map(|v| parse_num(&v, "--seed"));
+    if let Some(j) = jobs {
+        parallel::set_jobs(j as usize);
+    }
     match args.as_slice() {
         [flag] if flag == "--print-example" => println!("{EXAMPLE}"),
         [path] => {
@@ -31,10 +39,13 @@ fn main() {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(1);
             });
-            let scenario = Scenario::from_json(&json).unwrap_or_else(|e| {
+            let mut scenario = Scenario::from_json(&json).unwrap_or_else(|e| {
                 eprintln!("{e}");
                 std::process::exit(1);
             });
+            if let Some(s) = seed {
+                scenario.seed = s;
+            }
             match scenario.run() {
                 Ok(table) => println!("{}", table.to_text()),
                 Err(e) => {
@@ -44,8 +55,26 @@ fn main() {
             }
         }
         _ => {
-            eprintln!("usage: scenario <file.json> | --print-example");
+            eprintln!("usage: scenario [--jobs N] [--seed N] <file.json> | --print-example");
             std::process::exit(2);
         }
+    }
+}
+
+fn parse_num(v: &str, flag: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a non-negative integer, got '{v}'");
+        std::process::exit(2);
+    })
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
     }
 }

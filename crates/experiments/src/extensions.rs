@@ -34,21 +34,17 @@ pub struct PageMigRow {
 /// all allocated on node 0 (e.g. restored from a snapshot there) while
 /// its threads need both sockets.
 pub fn run_page_migration(opts: &RunOptions) -> Result<Vec<PageMigRow>, SimError> {
-    let policies: Vec<(String, Box<dyn SchedPolicy>)> = vec![
-        ("Credit".into(), Box::new(CreditPolicy::new())),
-        (
-            "vProbe".into(),
-            Box::new(variants::vprobe(2, Bounds::default())),
-        ),
-        (
-            "vProbe+pm".into(),
-            Box::new(
+    // The policy box is built inside the worker (trait objects are not
+    // `Send`); the tags keep the row order fixed.
+    let names = vec!["Credit", "vProbe", "vProbe+pm"];
+    crate::parallel::parallel_try_map(names, |name| {
+        let policy: Box<dyn SchedPolicy> = match name {
+            "Credit" => Box::new(CreditPolicy::new()),
+            "vProbe" => Box::new(variants::vprobe(2, Bounds::default())),
+            _ => Box::new(
                 VProbePolicy::new(2, Bounds::default()).with_page_migration(256 * 1024 * 1024),
             ),
-        ),
-    ];
-    let mut out = Vec::new();
-    for (name, policy) in policies {
+        };
         let mut machine = MachineBuilder::new(presets::xeon_e5620())
             .policy(policy)
             .sample_period(opts.sample_period)
@@ -77,14 +73,13 @@ pub fn run_page_migration(opts: &RunOptions) -> Result<Vec<PageMigRow>, SimError
             .build()?;
         machine.run(opts.duration);
         let m = machine.metrics();
-        out.push(PageMigRow {
-            policy: name,
+        Ok(PageMigRow {
+            policy: name.into(),
             instr_rate: m.per_vm[0].instr_per_second(m.elapsed),
             remote_ratio: m.per_vm[0].remote_ratio(),
             migrated_mb: m.page_migration_bytes as f64 / (1024.0 * 1024.0),
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 pub fn render_page_migration(rows: &[PageMigRow]) -> Table {
@@ -120,45 +115,46 @@ pub struct ScalingRow {
 /// Compare Credit and vProbe on the paper's 2-socket box and on a
 /// 4-socket machine with a proportionally scaled tenant set.
 pub fn run_scaling(opts: &RunOptions) -> Result<Vec<ScalingRow>, SimError> {
-    let mut out = Vec::new();
-    for (nodes, topo) in [(2, presets::xeon_e5620()), (4, presets::four_socket_32core())] {
+    // One case per (machine size, policy); topology and policy are built
+    // inside the worker so the case list is plain `Send` data.
+    let cases: Vec<(usize, &'static str)> =
+        vec![(2, "Credit"), (2, "vProbe"), (4, "Credit"), (4, "vProbe")];
+    crate::parallel::parallel_try_map(cases, |(nodes, name)| {
+        let topo = match nodes {
+            2 => presets::xeon_e5620(),
+            _ => presets::four_socket_32core(),
+        };
         let vms_per_machine = nodes; // one heavy VM per socket's worth
-        for (name, mk) in [
-            ("Credit", None),
-            ("vProbe", Some(())),
-        ] {
-            let policy: Box<dyn SchedPolicy> = match mk {
-                None => Box::new(CreditPolicy::new()),
-                Some(()) => Box::new(variants::vprobe(nodes, Bounds::default())),
-            };
-            let mut b = MachineBuilder::new(topo.clone())
-                .policy(policy)
-                .sample_period(opts.sample_period)
-                .seed(opts.seed);
-            for i in 0..vms_per_machine {
-                b = b.add_vm(VmConfig::new(
-                    format!("vm{i}"),
-                    8,
-                    6 * GB,
-                    AllocPolicy::SplitEven,
-                    vec![if i % 2 == 0 { npb::sp() } else { npb::lu() }],
-                ));
-            }
-            let mut machine = b.build()?;
-            machine.run(opts.duration);
-            let m = machine.metrics();
-            let instr: u64 = m.per_vm.iter().map(|v| v.instructions).sum();
-            let remote: u64 = m.per_vm.iter().map(|v| v.remote_accesses).sum();
-            let total: u64 = m.per_vm.iter().map(|v| v.total_accesses()).sum();
-            out.push(ScalingRow {
-                nodes,
-                policy: name.into(),
-                instr_rate: instr as f64 / m.elapsed.as_secs_f64(),
-                remote_ratio: remote as f64 / total.max(1) as f64,
-            });
+        let policy: Box<dyn SchedPolicy> = match name {
+            "Credit" => Box::new(CreditPolicy::new()),
+            _ => Box::new(variants::vprobe(nodes, Bounds::default())),
+        };
+        let mut b = MachineBuilder::new(topo)
+            .policy(policy)
+            .sample_period(opts.sample_period)
+            .seed(opts.seed);
+        for i in 0..vms_per_machine {
+            b = b.add_vm(VmConfig::new(
+                format!("vm{i}"),
+                8,
+                6 * GB,
+                AllocPolicy::SplitEven,
+                vec![if i % 2 == 0 { npb::sp() } else { npb::lu() }],
+            ));
         }
-    }
-    Ok(out)
+        let mut machine = b.build()?;
+        machine.run(opts.duration);
+        let m = machine.metrics();
+        let instr: u64 = m.per_vm.iter().map(|v| v.instructions).sum();
+        let remote: u64 = m.per_vm.iter().map(|v| v.remote_accesses).sum();
+        let total: u64 = m.per_vm.iter().map(|v| v.total_accesses()).sum();
+        Ok(ScalingRow {
+            nodes,
+            policy: name.into(),
+            instr_rate: instr as f64 / m.elapsed.as_secs_f64(),
+            remote_ratio: remote as f64 / total.max(1) as f64,
+        })
+    })
 }
 
 pub fn render_scaling(rows: &[ScalingRow]) -> Table {

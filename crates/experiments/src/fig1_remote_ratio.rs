@@ -43,24 +43,21 @@ pub fn workload_set() -> Vec<(String, Vec<WorkloadSpec>)> {
     v
 }
 
-/// Run the experiment.
+/// Run the experiment (one run per workload, in parallel).
 pub fn run(opts: &RunOptions) -> Result<Vec<Fig1Row>, SimError> {
-    workload_set()
-        .into_iter()
-        .map(|(name, wl)| {
-            let r = run_workload(
-                Scheduler::Credit,
-                SetupKind::Motivation,
-                wl.clone(),
-                wl,
-                opts,
-            )?;
-            Ok(Fig1Row {
-                workload: name,
-                remote_ratio: r.remote_ratio,
-            })
+    crate::parallel::parallel_try_map(workload_set(), |(name, wl)| {
+        let r = run_workload(
+            Scheduler::Credit,
+            SetupKind::Motivation,
+            wl.clone(),
+            wl,
+            opts,
+        )?;
+        Ok(Fig1Row {
+            workload: name,
+            remote_ratio: r.remote_ratio,
         })
-        .collect()
+    })
 }
 
 /// Render as a table.

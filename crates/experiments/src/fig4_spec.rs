@@ -74,15 +74,13 @@ pub fn normalize(workload: &str, runs: Vec<WorkloadRun>) -> WorkloadBars {
     }
 }
 
-/// Run the full Fig. 4 sweep.
+/// Run the full Fig. 4 sweep (workloads in parallel; rows stay in
+/// `workload_set` order).
 pub fn run(opts: &RunOptions) -> Result<Vec<WorkloadBars>, SimError> {
-    workload_set()
-        .into_iter()
-        .map(|(name, vm1, vm2)| {
-            let runs = run_all_schedulers(SetupKind::PaperEval, vm1, vm2, opts)?;
-            Ok(normalize(&name, runs))
-        })
-        .collect()
+    crate::parallel::parallel_try_map(workload_set(), |(name, vm1, vm2)| {
+        let runs = run_all_schedulers(SetupKind::PaperEval, vm1, vm2, opts)?;
+        Ok(normalize(&name, runs))
+    })
 }
 
 /// Render all three panels as one table.

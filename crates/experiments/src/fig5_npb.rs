@@ -19,15 +19,13 @@ pub fn workload_set() -> Vec<(String, Vec<WorkloadSpec>)> {
         .collect()
 }
 
-/// Run the full Fig. 5 sweep.
+/// Run the full Fig. 5 sweep (workloads in parallel; rows stay in
+/// `workload_set` order).
 pub fn run(opts: &RunOptions) -> Result<Vec<WorkloadBars>, SimError> {
-    workload_set()
-        .into_iter()
-        .map(|(name, wl)| {
-            let runs = run_all_schedulers(SetupKind::PaperEval, wl.clone(), wl, opts)?;
-            Ok(normalize(&name, runs))
-        })
-        .collect()
+    crate::parallel::parallel_try_map(workload_set(), |(name, wl)| {
+        let runs = run_all_schedulers(SetupKind::PaperEval, wl.clone(), wl, opts)?;
+        Ok(normalize(&name, runs))
+    })
 }
 
 /// Render (same panel layout as Fig. 4).

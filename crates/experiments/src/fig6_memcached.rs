@@ -32,10 +32,10 @@ pub fn run(opts: &RunOptions) -> Result<Vec<Fig6Point>, SimError> {
     run_levels(&MEMCACHED_CONCURRENCIES, opts)
 }
 
-/// Run a chosen set of concurrency levels.
+/// Run a chosen set of concurrency levels (levels in parallel on top of
+/// the per-scheduler parallelism; point order is unchanged).
 pub fn run_levels(levels: &[u32], opts: &RunOptions) -> Result<Vec<Fig6Point>, SimError> {
-    let mut out = Vec::new();
-    for &c in levels {
+    let per_level = crate::parallel::parallel_try_map(levels.to_vec(), |c| {
         let spec = kv::memcached(c);
         let runs = run_all_schedulers(
             SetupKind::PaperEval,
@@ -44,11 +44,12 @@ pub fn run_levels(levels: &[u32], opts: &RunOptions) -> Result<Vec<Fig6Point>, S
             opts,
         )?;
         let credit = runs[0].clone();
-        for r in &runs {
-            out.push(point(c, &spec, r, &credit));
-        }
-    }
-    Ok(out)
+        Ok(runs
+            .iter()
+            .map(|r| point(c, &spec, r, &credit))
+            .collect::<Vec<_>>())
+    })?;
+    Ok(per_level.into_iter().flatten().collect())
 }
 
 fn point(c: u32, spec: &workloads::WorkloadSpec, r: &WorkloadRun, credit: &WorkloadRun) -> Fig6Point {

@@ -28,10 +28,10 @@ pub fn run(opts: &RunOptions) -> Result<Vec<Fig7Point>, SimError> {
     run_levels(&REDIS_CONNECTIONS, opts)
 }
 
-/// Run a chosen set of connection counts.
+/// Run a chosen set of connection counts (levels in parallel on top of
+/// the per-scheduler parallelism; point order is unchanged).
 pub fn run_levels(levels: &[u32], opts: &RunOptions) -> Result<Vec<Fig7Point>, SimError> {
-    let mut out = Vec::new();
-    for &k in levels {
+    let per_level = crate::parallel::parallel_try_map(levels.to_vec(), |k| {
         let spec = kv::redis(k);
         let runs = run_all_schedulers(
             SetupKind::PaperEval,
@@ -40,11 +40,12 @@ pub fn run_levels(levels: &[u32], opts: &RunOptions) -> Result<Vec<Fig7Point>, S
             opts,
         )?;
         let credit = runs[0].clone();
-        for r in &runs {
-            out.push(point(k, &spec, r, &credit));
-        }
-    }
-    Ok(out)
+        Ok(runs
+            .iter()
+            .map(|r| point(k, &spec, r, &credit))
+            .collect::<Vec<_>>())
+    })?;
+    Ok(per_level.into_iter().flatten().collect())
 }
 
 fn point(

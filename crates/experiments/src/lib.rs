@@ -28,6 +28,7 @@ pub mod fig5_npb;
 pub mod fig6_memcached;
 pub mod fig7_redis;
 pub mod fig8_period;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod scenario;

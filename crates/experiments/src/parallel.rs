@@ -1,0 +1,159 @@
+//! Deterministic parallel execution of independent experiment runs.
+//!
+//! Every `(scheduler, workload, seed)` simulation in this crate is an
+//! independent, deterministic computation: its outcome is a pure function
+//! of its inputs. That makes the experiment sweeps embarrassingly
+//! parallel — the only requirement is that result *order* stays identical
+//! to the sequential path so rendered tables and CSV files are
+//! byte-for-byte the same.
+//!
+//! [`parallel_map`] provides exactly that: items are claimed by worker
+//! threads from a shared counter, but each result is written back into the
+//! slot of its input index, so the output order never depends on thread
+//! scheduling. With one job (or one item) it degenerates to a plain
+//! sequential loop with no thread machinery at all.
+//!
+//! The process-wide job count is a global (set once at binary startup from
+//! `--jobs`) so that deeply nested experiment code — `run_all_schedulers`,
+//! every `fig*` module, the extensions — picks it up without threading a
+//! parameter through every signature.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// 0 means "unset": use the machine's available parallelism.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide worker count for [`parallel_map`]. `0` restores
+/// the default (all available cores).
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, Ordering::SeqCst);
+}
+
+/// The worker count [`parallel_map`] will use: the last `set_jobs` value,
+/// or the machine's available parallelism when unset.
+pub fn configured_jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Map `f` over `items` using the configured number of worker threads,
+/// returning results in input order (bit-identical to the sequential map).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with_jobs(configured_jobs(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (used by tests so they
+/// don't mutate the process-wide setting).
+pub fn parallel_map_with_jobs<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Per-slot mutexes rather than one shared queue: claiming is a single
+    // atomic increment, and each slot is locked exactly twice (take input,
+    // store output), so contention is negligible next to a simulation run.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item claimed twice");
+                let result = f(item);
+                *out[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+/// Fallible variant: runs every item (in parallel), then returns the first
+/// error by input order, matching what the sequential `?`-chain would have
+/// surfaced.
+pub fn parallel_try_map<T, R, E, F>(items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(T) -> Result<R, E> + Sync,
+{
+    parallel_map(items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 7, 64] {
+            let got = parallel_map_with_jobs(jobs, items.clone(), |x| x * 3 + 1);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map_with_jobs(8, empty, |x| x).is_empty());
+        assert_eq!(parallel_map_with_jobs(8, vec![9], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn try_map_returns_first_error_by_index() {
+        let r: Result<Vec<u32>, String> =
+            parallel_try_map((0..16).collect(), |x| if x % 5 == 3 { Err(format!("e{x}")) } else { Ok(x) });
+        assert_eq!(r.unwrap_err(), "e3");
+        let ok: Result<Vec<u32>, String> = parallel_try_map((0..4).collect(), Ok);
+        assert_eq!(ok.unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn configured_jobs_defaults_to_cores() {
+        // Whatever the machine, the default is at least one.
+        assert!(configured_jobs() >= 1);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Make late indices fast and early ones slow so the completion
+        // order inverts the input order.
+        let got = parallel_map_with_jobs(4, (0u64..32).collect(), |x| {
+            std::thread::sleep(std::time::Duration::from_micros((32 - x) * 50));
+            x
+        });
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+}

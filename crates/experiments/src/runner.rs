@@ -214,25 +214,24 @@ pub fn run_workload(
     })
 }
 
-/// Run all five schedulers on one workload.
+/// Run all five schedulers on one workload. The five runs are
+/// independent and execute in parallel (see [`crate::parallel`]); the
+/// result order always matches [`ALL_SCHEDULERS`].
 pub fn run_all_schedulers(
     setup: SetupKind,
     vm1_workloads: Vec<WorkloadSpec>,
     vm2_workloads: Vec<WorkloadSpec>,
     opts: &RunOptions,
 ) -> Result<Vec<WorkloadRun>, SimError> {
-    ALL_SCHEDULERS
-        .iter()
-        .map(|&s| {
-            run_workload(
-                s,
-                setup,
-                vm1_workloads.clone(),
-                vm2_workloads.clone(),
-                opts,
-            )
-        })
-        .collect()
+    crate::parallel::parallel_try_map(ALL_SCHEDULERS.to_vec(), |s| {
+        run_workload(
+            s,
+            setup,
+            vm1_workloads.clone(),
+            vm2_workloads.clone(),
+            opts,
+        )
+    })
 }
 
 #[cfg(test)]

@@ -26,8 +26,7 @@
 use crate::report::{pct, Table};
 use mem_model::AllocPolicy;
 use numa_topo::{presets, NodeId, Topology};
-use serde::{Deserialize, Serialize};
-use sim_core::{SimDuration, SimError};
+use sim_core::{Json, SimDuration, SimError};
 use vprobe::{variants, Bounds, BrmPolicy};
 use workloads::{kv, registry, WorkloadSpec};
 use xen_sim::{CreditPolicy, Machine, MachineBuilder, SchedPolicy, VmConfig};
@@ -35,21 +34,18 @@ use xen_sim::{CreditPolicy, Machine, MachineBuilder, SchedPolicy, VmConfig};
 const GB: u64 = 1024 * 1024 * 1024;
 
 /// One VM in a scenario file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VmSpec {
     pub name: String,
     pub vcpus: usize,
     pub mem_gb: u64,
-    /// `most_free` | `split` | `node:<id>` | `striped`
-    #[serde(default = "default_alloc")]
+    /// `most_free` | `split` | `node:<id>` | `striped` (default `most_free`)
     pub alloc: String,
     /// Workload names; see module docs.
     pub workloads: Vec<String>,
     /// Optional hard pin (`node:<id>`).
-    #[serde(default)]
     pub pin: Option<String>,
     /// Credit weight (Xen default 256).
-    #[serde(default = "default_weight")]
     pub weight: u32,
 }
 
@@ -62,17 +58,13 @@ fn default_weight() -> u32 {
 }
 
 /// A whole scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
-    /// "xeon_e5620" | "four_socket" | "uma"
-    #[serde(default = "default_topology")]
+    /// "xeon_e5620" | "four_socket" | "uma" (default "xeon_e5620")
     pub topology: String,
-    /// "credit" | "vprobe" | "vcpu-p" | "lb" | "brm"
-    #[serde(default = "default_scheduler")]
+    /// "credit" | "vprobe" | "vcpu-p" | "lb" | "brm" (default "vprobe")
     pub scheduler: String,
-    #[serde(default = "default_duration")]
     pub duration_s: u64,
-    #[serde(default)]
     pub seed: u64,
     pub vms: Vec<VmSpec>,
 }
@@ -89,11 +81,123 @@ fn default_duration() -> u64 {
     20
 }
 
+fn parse_err(msg: impl std::fmt::Display) -> SimError {
+    SimError::InvalidConfig(format!("scenario parse error: {msg}"))
+}
+
+fn field_str(obj: &Json, key: &str, default: Option<&str>) -> Result<String, SimError> {
+    match obj.get(key) {
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| parse_err(format!("'{key}' must be a string"))),
+        None => default
+            .map(str::to_string)
+            .ok_or_else(|| parse_err(format!("missing field '{key}'"))),
+    }
+}
+
+fn field_u64(obj: &Json, key: &str, default: Option<u64>) -> Result<u64, SimError> {
+    match obj.get(key) {
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| parse_err(format!("'{key}' must be a non-negative integer"))),
+        None => default.ok_or_else(|| parse_err(format!("missing field '{key}'"))),
+    }
+}
+
+impl VmSpec {
+    fn from_value(v: &Json) -> Result<VmSpec, SimError> {
+        if v.as_object().is_none() {
+            return Err(parse_err("each entry of 'vms' must be an object"));
+        }
+        let workloads = v
+            .get("workloads")
+            .and_then(Json::as_array)
+            .ok_or_else(|| parse_err("'workloads' must be an array of strings"))?
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| parse_err("'workloads' entries must be strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let pin = match v.get("pin") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(
+                p.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| parse_err("'pin' must be a string"))?,
+            ),
+        };
+        Ok(VmSpec {
+            name: field_str(v, "name", None)?,
+            vcpus: field_u64(v, "vcpus", None)? as usize,
+            mem_gb: field_u64(v, "mem_gb", None)?,
+            alloc: field_str(v, "alloc", Some(&default_alloc()))?,
+            workloads,
+            pin,
+            weight: u32::try_from(field_u64(v, "weight", Some(u64::from(default_weight())))?)
+                .map_err(|_| parse_err("'weight' out of range"))?,
+        })
+    }
+
+    fn to_value(&self) -> Json {
+        let mut pairs = vec![
+            ("name".to_string(), Json::from(self.name.clone())),
+            ("vcpus".to_string(), Json::from(self.vcpus)),
+            ("mem_gb".to_string(), Json::from(self.mem_gb)),
+            ("alloc".to_string(), Json::from(self.alloc.clone())),
+            (
+                "workloads".to_string(),
+                Json::from(self.workloads.clone()),
+            ),
+        ];
+        if let Some(pin) = &self.pin {
+            pairs.push(("pin".to_string(), Json::from(pin.clone())));
+        }
+        pairs.push(("weight".to_string(), Json::from(self.weight)));
+        Json::Obj(pairs)
+    }
+}
+
 impl Scenario {
-    /// Parse from JSON.
+    /// Parse from JSON. Missing optional fields take the documented
+    /// defaults; `vms` is required.
     pub fn from_json(json: &str) -> Result<Scenario, SimError> {
-        serde_json::from_str(json)
-            .map_err(|e| SimError::InvalidConfig(format!("scenario parse error: {e}")))
+        let doc = Json::parse(json).map_err(parse_err)?;
+        if doc.as_object().is_none() {
+            return Err(parse_err("top level must be an object"));
+        }
+        let vms = doc
+            .get("vms")
+            .and_then(Json::as_array)
+            .ok_or_else(|| parse_err("missing field 'vms' (array)"))?
+            .iter()
+            .map(VmSpec::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Scenario {
+            topology: field_str(&doc, "topology", Some(&default_topology()))?,
+            scheduler: field_str(&doc, "scheduler", Some(&default_scheduler()))?,
+            duration_s: field_u64(&doc, "duration_s", Some(default_duration()))?,
+            seed: field_u64(&doc, "seed", Some(0))?,
+            vms,
+        })
+    }
+
+    /// Serialize back to JSON (compact, key order stable).
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("topology".to_string(), Json::from(self.topology.clone())),
+            ("scheduler".to_string(), Json::from(self.scheduler.clone())),
+            ("duration_s".to_string(), Json::from(self.duration_s)),
+            ("seed".to_string(), Json::from(self.seed)),
+            (
+                "vms".to_string(),
+                Json::Arr(self.vms.iter().map(VmSpec::to_value).collect()),
+            ),
+        ])
+        .to_string()
     }
 
     pub fn topology(&self) -> Result<Topology, SimError> {
@@ -285,11 +389,15 @@ mod tests {
     }
 
     #[test]
-    fn scenario_round_trips_through_serde() {
+    fn scenario_round_trips_through_json() {
         let sc = Scenario::from_json(EXAMPLE).unwrap();
-        let json = serde_json::to_string(&sc).unwrap();
+        let json = sc.to_json();
         let back = Scenario::from_json(&json).unwrap();
         assert_eq!(back.vms[0].name, "db");
+        assert_eq!(back.vms[0].alloc, "split");
+        assert_eq!(back.vms[1].weight, 256);
         assert_eq!(back.duration_s, 3);
+        // A second round trip is byte-stable.
+        assert_eq!(back.to_json(), json);
     }
 }

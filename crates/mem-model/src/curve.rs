@@ -18,10 +18,9 @@
 //! * **LLC-thrashing** (milc, libquantum): `ws_bytes` far larger than the
 //!   LLC — the miss rate is high even with the whole cache.
 
-use serde::{Deserialize, Serialize};
 
 /// Piecewise-linear miss-rate curve. Rates are fractions in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MissCurve {
     /// Miss rate with occupancy ≥ `ws_bytes` (the workload's best case).
     pub min_miss: f64,

@@ -25,11 +25,10 @@ use crate::latency::LatencyParams;
 use crate::llc::{LlcDemand, LlcModel};
 use crate::qpi::QpiModel;
 use numa_topo::{NodeId, Topology};
-use serde::{Deserialize, Serialize};
 use sim_core::SimDuration;
 
 /// Behavioural profile of whatever a VCPU is currently executing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccessProfile {
     /// LLC references per thousand retired instructions (paper's RPTI).
     pub rpti: f64,
@@ -60,8 +59,12 @@ impl AccessProfile {
 }
 
 /// One VCPU's share of the quantum, as scheduled by the hypervisor.
+///
+/// The profile is borrowed: the hypervisor caches one profile per guest
+/// thread and phase, and `step` runs every quantum, so an owned profile
+/// would mean two heap allocations per running VCPU per quantum.
 #[derive(Debug, Clone)]
-pub struct QuantumUsage {
+pub struct QuantumUsage<'a> {
     /// Caller-chosen identifier, echoed in the result (the VCPU id).
     pub key: u64,
     /// Node whose PCPU ran this VCPU.
@@ -69,7 +72,10 @@ pub struct QuantumUsage {
     /// Fraction of the quantum actually run, `(0, 1]`.
     pub runtime_share: f64,
     /// What the VCPU executed.
-    pub profile: AccessProfile,
+    pub profile: &'a AccessProfile,
+    /// Momentary intensity factor applied to the profile's RPTI (the
+    /// hypervisor's burstiness noise); 1.0 for steady behaviour.
+    pub rpti_scale: f64,
     /// Post-migration cache-warmup penalty: multiplies the miss rate
     /// (clamped to the curve's `max_miss`); 1.0 when warm.
     pub cold_miss_boost: f64,
@@ -78,8 +84,16 @@ pub struct QuantumUsage {
     pub overhead_us: f64,
 }
 
+impl QuantumUsage<'_> {
+    /// The effective LLC references per thousand instructions this
+    /// quantum: the profile's RPTI under the momentary intensity factor.
+    fn rpti(&self) -> f64 {
+        self.profile.rpti * self.rpti_scale
+    }
+}
+
 /// What one VCPU accomplished during the quantum.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VcpuQuantumResult {
     pub key: u64,
     pub instructions: u64,
@@ -98,7 +112,7 @@ pub struct VcpuQuantumResult {
 }
 
 /// Dynamic contention levels, exposed for metrics and tests.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContentionSnapshot {
     /// Latency multiplier of each node's IMC.
     pub imc_multiplier: Vec<f64>,
@@ -136,6 +150,19 @@ impl Default for EngineParams {
     }
 }
 
+/// Reusable buffers for [`MemoryEngine::step`]. `step` runs once per
+/// simulated quantum (thousands of times per second of simulated time), so
+/// its working vectors are kept across calls instead of reallocated.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    per_node: Vec<Vec<usize>>,
+    miss_rate: Vec<f64>,
+    demands: Vec<LlcDemand>,
+    node_demand_bytes: Vec<f64>,
+    pair_traffic_bytes: Vec<f64>,
+    node_accesses: Vec<u64>,
+}
+
 /// The composed memory-system model for one machine.
 #[derive(Debug, Clone)]
 pub struct MemoryEngine {
@@ -151,6 +178,7 @@ pub struct MemoryEngine {
     freq_mhz: u32,
     imc_mult: Vec<f64>,
     qpi_mult: Vec<f64>, // per pair, row-major
+    scratch: StepScratch,
 }
 
 impl MemoryEngine {
@@ -212,6 +240,7 @@ impl MemoryEngine {
             freq_mhz: topo.freq_mhz(),
             imc_mult: vec![1.0; n],
             qpi_mult: vec![1.0; n * n],
+            scratch: StepScratch::default(),
         }
     }
 
@@ -234,65 +263,83 @@ impl MemoryEngine {
         let quantum_us = quantum.as_micros() as f64;
         assert!(quantum_us > 0.0, "zero quantum");
 
+        // Detach the scratch buffers so `evaluate` can borrow `&self`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+
         // 1. LLC sharing per node.
-        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); self.num_nodes];
+        scratch.per_node.resize(self.num_nodes, Vec::new());
+        for members in scratch.per_node.iter_mut() {
+            members.clear();
+        }
         for (i, u) in usages.iter().enumerate() {
             debug_assert!(
                 (u.profile.node_access_dist.len()) == self.num_nodes,
                 "profile node distribution has wrong arity"
             );
-            per_node[u.node.index()].push(i);
+            scratch.per_node[u.node.index()].push(i);
         }
-        let mut miss_rate = vec![0.0f64; usages.len()];
-        for (node, members) in per_node.iter().enumerate() {
+        scratch.miss_rate.clear();
+        scratch.miss_rate.resize(usages.len(), 0.0);
+        for (node, members) in scratch.per_node.iter().enumerate() {
             if members.is_empty() {
                 continue;
             }
-            let demands: Vec<LlcDemand> = members
-                .iter()
-                .map(|&i| LlcDemand {
-                    rpti: usages[i].profile.rpti,
-                    curve: usages[i].profile.miss_curve,
-                    runtime_share: usages[i].runtime_share,
-                })
-                .collect();
-            let occ = self.llc[node].occupancies(&demands);
+            scratch.demands.clear();
+            scratch.demands.extend(members.iter().map(|&i| LlcDemand {
+                rpti: usages[i].rpti(),
+                curve: usages[i].profile.miss_curve,
+                runtime_share: usages[i].runtime_share,
+            }));
+            let occ = self.llc[node].occupancies(&scratch.demands);
             for (&i, o) in members.iter().zip(occ.iter()) {
                 let boosted = o.miss_rate * usages[i].cold_miss_boost.max(1.0);
-                miss_rate[i] = boosted.min(usages[i].profile.miss_curve.max_miss.max(o.miss_rate));
+                scratch.miss_rate[i] =
+                    boosted.min(usages[i].profile.miss_curve.max_miss.max(o.miss_rate));
             }
         }
 
         // 2. Solve the contention fixed point: instruction rates depend on
         // latency multipliers, which depend on the demand those rates
         // generate. Damped iteration from the previous quantum's state.
+        // Only the last round's per-VCPU results are returned, so earlier
+        // rounds run demand-only and skip materializing them.
         let quantum_s = quantum_us / 1e6;
         let mut imc_mult = self.imc_mult.clone();
         let mut qpi_mult = self.qpi_mult.clone();
         let mut results: Vec<VcpuQuantumResult> = Vec::new();
         for round in 0..FIXED_POINT_ROUNDS {
-            let mut node_demand_bytes = vec![0.0f64; self.num_nodes];
-            let mut pair_traffic_bytes = vec![0.0f64; self.num_nodes * self.num_nodes];
-            results = self.evaluate(
+            scratch.node_demand_bytes.clear();
+            scratch.node_demand_bytes.resize(self.num_nodes, 0.0);
+            scratch.pair_traffic_bytes.clear();
+            scratch
+                .pair_traffic_bytes
+                .resize(self.num_nodes * self.num_nodes, 0.0);
+            let collect = round == FIXED_POINT_ROUNDS - 1;
+            self.evaluate(
                 quantum_us,
                 usages,
-                &miss_rate,
+                &scratch.miss_rate,
                 &imc_mult,
                 &qpi_mult,
-                &mut node_demand_bytes,
-                &mut pair_traffic_bytes,
+                &mut scratch.node_demand_bytes,
+                &mut scratch.pair_traffic_bytes,
+                &mut scratch.node_accesses,
+                if collect { Some(&mut results) } else { None },
             );
             // Recompute multipliers from this round's demand and relax.
             let damp = if round == 0 { 1.0 } else { 0.5 };
-            for node in 0..self.num_nodes {
-                let target = self.imc[node].latency_multiplier(node_demand_bytes[node] / quantum_s);
-                imc_mult[node] += damp * (target - imc_mult[node]);
+            for (node, mult) in imc_mult.iter_mut().enumerate() {
+                let target =
+                    self.imc[node].latency_multiplier(scratch.node_demand_bytes[node] / quantum_s);
+                *mult += damp * (target - *mult);
             }
             for a in 0..self.num_nodes {
                 for b in 0..self.num_nodes {
                     let idx = a * self.num_nodes + b;
                     let target = match &self.qpi[idx] {
-                        Some(q) => q.latency_multiplier(pair_traffic_bytes[idx] / quantum_s),
+                        Some(q) => {
+                            q.latency_multiplier(scratch.pair_traffic_bytes[idx] / quantum_s)
+                        }
                         None => 1.0,
                     };
                     qpi_mult[idx] += damp * (target - qpi_mult[idx]);
@@ -301,10 +348,13 @@ impl MemoryEngine {
         }
         self.imc_mult = imc_mult;
         self.qpi_mult = qpi_mult;
+        self.scratch = scratch;
         results
     }
 
     /// One evaluation of every VCPU's quantum at fixed contention levels.
+    /// Accumulates demand into the caller's buffers; per-VCPU results are
+    /// materialized only when `results` is provided (the final round).
     #[allow(clippy::too_many_arguments)]
     fn evaluate(
         &self,
@@ -315,12 +365,17 @@ impl MemoryEngine {
         qpi_mult: &[f64],
         node_demand_bytes: &mut [f64],
         pair_traffic_bytes: &mut [f64],
-    ) -> Vec<VcpuQuantumResult> {
-        let mut results = Vec::with_capacity(usages.len());
+        node_accesses: &mut Vec<u64>,
+        mut results: Option<&mut Vec<VcpuQuantumResult>>,
+    ) {
+        if let Some(out) = results.as_deref_mut() {
+            out.clear();
+            out.reserve(usages.len());
+        }
         for (i, u) in usages.iter().enumerate() {
             let run_node = u.node.index();
             let m = miss_rate[i];
-            let refs_per_instr = u.profile.rpti / 1_000.0;
+            let refs_per_instr = u.rpti() / 1_000.0;
 
             // Average cycle cost of a miss over the access distribution.
             let mut miss_cycles = 0.0;
@@ -356,7 +411,8 @@ impl MemoryEngine {
             let llc_refs = (instructions as f64 * refs_per_instr).round() as u64;
             let llc_misses = (llc_refs as f64 * m).round() as u64;
 
-            let mut node_accesses = vec![0u64; self.num_nodes];
+            node_accesses.clear();
+            node_accesses.resize(self.num_nodes, 0);
             let mut assigned = 0u64;
             for (home, &frac) in u.profile.node_access_dist.iter().enumerate() {
                 let c = (llc_misses as f64 * frac).floor() as u64;
@@ -384,19 +440,20 @@ impl MemoryEngine {
                 }
             }
 
-            results.push(VcpuQuantumResult {
-                key: u.key,
-                instructions,
-                llc_refs,
-                llc_misses,
-                local_accesses,
-                remote_accesses,
-                node_accesses,
-                effective_cpi: cpi,
-                miss_rate: m,
-            });
+            if let Some(out) = results.as_deref_mut() {
+                out.push(VcpuQuantumResult {
+                    key: u.key,
+                    instructions,
+                    llc_refs,
+                    llc_misses,
+                    local_accesses,
+                    remote_accesses,
+                    node_accesses: node_accesses.clone(),
+                    effective_cpi: cpi,
+                    miss_rate: m,
+                });
+            }
         }
-        results
     }
 }
 
@@ -429,12 +486,13 @@ mod tests {
         }
     }
 
-    fn usage(key: u64, node: u16, p: AccessProfile) -> QuantumUsage {
+    fn usage<'a>(key: u64, node: u16, p: &'a AccessProfile) -> QuantumUsage<'a> {
         QuantumUsage {
             key,
             node: NodeId::new(node),
             runtime_share: 1.0,
             profile: p,
+            rpti_scale: 1.0,
             cold_miss_boost: 1.0,
             overhead_us: 0.0,
         }
@@ -444,7 +502,7 @@ mod tests {
     fn cpu_only_workload_runs_at_base_cpi() {
         let mut e = engine();
         let p = AccessProfile::cpu_only(1.0, 2);
-        let r = e.step(quantum(), &[usage(1, 0, p)]);
+        let r = e.step(quantum(), &[usage(1, 0, &p)]);
         // 1 ms at 2400 MHz and CPI 1 => 2.4 M instructions.
         assert_eq!(r[0].instructions, 2_400_000);
         assert_eq!(r[0].llc_refs, 0);
@@ -453,18 +511,11 @@ mod tests {
 
     #[test]
     fn local_beats_remote() {
+        let p = profile(20.0, 64, vec![1.0, 0.0]);
         let mut e = engine();
-        let local = e.step(
-            quantum(),
-            &[usage(1, 0, profile(20.0, 64, vec![1.0, 0.0]))],
-        )[0]
-            .instructions;
+        let local = e.step(quantum(), &[usage(1, 0, &p)])[0].instructions;
         let mut e = engine();
-        let remote = e.step(
-            quantum(),
-            &[usage(1, 1, profile(20.0, 64, vec![1.0, 0.0]))],
-        )[0]
-            .instructions;
+        let remote = e.step(quantum(), &[usage(1, 1, &p)])[0].instructions;
         assert!(
             local as f64 > remote as f64 * 1.05,
             "local={local} remote={remote}"
@@ -474,10 +525,8 @@ mod tests {
     #[test]
     fn remote_accesses_follow_distribution() {
         let mut e = engine();
-        let r = &e.step(
-            quantum(),
-            &[usage(1, 0, profile(20.0, 64, vec![0.25, 0.75]))],
-        )[0];
+        let p = profile(20.0, 64, vec![0.25, 0.75]);
+        let r = &e.step(quantum(), &[usage(1, 0, &p)])[0];
         assert!(r.llc_misses > 0);
         let remote_frac = r.remote_accesses as f64 / r.llc_misses as f64;
         assert!((remote_frac - 0.75).abs() < 0.01, "remote_frac={remote_frac}");
@@ -500,14 +549,14 @@ mod tests {
             node_access_dist: vec![1.0, 0.0],
         };
         let mut e = engine();
-        let alone = e.step(quantum(), &[usage(1, 0, fit.clone())])[0].instructions;
+        let alone = e.step(quantum(), &[usage(1, 0, &fit)])[0].instructions;
         let mut e = engine();
         let shared = e.step(
             quantum(),
             &[
-                usage(1, 0, fit),
-                usage(2, 0, thrash.clone()),
-                usage(3, 0, thrash),
+                usage(1, 0, &fit),
+                usage(2, 0, &thrash),
+                usage(3, 0, &thrash),
             ],
         )[0]
             .instructions;
@@ -525,10 +574,10 @@ mod tests {
         e.step(
             quantum(),
             &[
-                usage(1, 0, heavy.clone()),
-                usage(2, 0, heavy.clone()),
-                usage(3, 0, heavy.clone()),
-                usage(4, 0, heavy.clone()),
+                usage(1, 0, &heavy),
+                usage(2, 0, &heavy),
+                usage(3, 0, &heavy),
+                usage(4, 0, &heavy),
             ],
         );
         let snap = e.contention();
@@ -541,7 +590,7 @@ mod tests {
         let mut e = engine();
         // Four VCPUs on node1 all hitting node0 memory.
         let p = profile(30.0, 128, vec![1.0, 0.0]);
-        let usages: Vec<_> = (0..4).map(|i| usage(i, 1, p.clone())).collect();
+        let usages: Vec<_> = (0..4).map(|i| usage(i, 1, &p)).collect();
         e.step(quantum(), &usages);
         let snap = e.contention();
         assert!(snap.qpi_multiplier[1] > 1.0, "qpi loaded: {snap:?}");
@@ -551,7 +600,7 @@ mod tests {
     fn overhead_reduces_instructions() {
         let mut e = engine();
         let p = AccessProfile::cpu_only(1.0, 2);
-        let mut u = usage(1, 0, p);
+        let mut u = usage(1, 0, &p);
         u.overhead_us = 500.0; // half the quantum
         let r = e.step(quantum(), &[u]);
         assert_eq!(r[0].instructions, 1_200_000);
@@ -560,7 +609,8 @@ mod tests {
     #[test]
     fn overhead_larger_than_quantum_yields_zero() {
         let mut e = engine();
-        let mut u = usage(1, 0, AccessProfile::cpu_only(1.0, 2));
+        let p = AccessProfile::cpu_only(1.0, 2);
+        let mut u = usage(1, 0, &p);
         u.overhead_us = 5_000.0;
         let r = e.step(quantum(), &[u]);
         assert_eq!(r[0].instructions, 0);
@@ -570,9 +620,9 @@ mod tests {
     fn cold_boost_raises_miss_rate_up_to_max() {
         let fit = profile(15.0, 6, vec![1.0, 0.0]);
         let mut e = engine();
-        let warm = e.step(quantum(), &[usage(1, 0, fit.clone())])[0].miss_rate;
+        let warm = e.step(quantum(), &[usage(1, 0, &fit)])[0].miss_rate;
         let mut e = engine();
-        let mut u = usage(1, 0, fit);
+        let mut u = usage(1, 0, &fit);
         u.cold_miss_boost = 4.0;
         let cold = e.step(quantum(), &[u])[0].miss_rate;
         assert!(cold > warm);
@@ -583,7 +633,7 @@ mod tests {
     fn runtime_share_scales_output() {
         let mut e = engine();
         let p = AccessProfile::cpu_only(1.0, 2);
-        let mut u = usage(1, 0, p);
+        let mut u = usage(1, 0, &p);
         u.runtime_share = 0.5;
         let r = e.step(quantum(), &[u]);
         assert_eq!(r[0].instructions, 1_200_000);

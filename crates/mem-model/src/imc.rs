@@ -7,10 +7,9 @@
 //! throttles throughput (accesses simply take longer than the quantum
 //! allows), which the engine realizes through the inflated latency.
 
-use serde::{Deserialize, Serialize};
 
 /// Queueing model of one node's memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ImcModel {
     /// Peak sustainable bandwidth, bytes/second.
     pub bandwidth_bytes_per_s: u64,

@@ -4,10 +4,9 @@
 //! latency) plus the dynamic contention multipliers into the cycle cost of
 //! one LLC miss, the quantity the execution engine charges per miss.
 
-use serde::{Deserialize, Serialize};
 
 /// Static latency parameters for composing access costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyParams {
     /// Cycles for an LLC hit (beyond the core pipeline), Nehalem-class ~40.
     pub llc_hit_cycles: f64,

@@ -13,7 +13,6 @@
 //! does — keeps every socket's contention moderate.
 
 use crate::curve::MissCurve;
-use serde::{Deserialize, Serialize};
 
 /// One VCPU's demand on a shared LLC.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,7 +26,7 @@ pub struct LlcDemand {
 }
 
 /// Resulting occupancy and miss rate for one VCPU.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LlcOccupancy {
     pub occupancy_bytes: f64,
     pub miss_rate: f64,

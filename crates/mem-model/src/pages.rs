@@ -16,11 +16,10 @@
 //! affinity* (Eq. 1) estimates from PMU data.
 
 use numa_topo::NodeId;
-use serde::{Deserialize, Serialize};
 use sim_core::SimError;
 
 /// Free memory per node, consumed as VMs are placed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeFree {
     free: Vec<u64>,
 }
@@ -49,7 +48,7 @@ impl NodeFree {
 }
 
 /// How a VM's memory is placed across nodes at creation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AllocPolicy {
     /// Xen 4.0.1 behaviour: allocate greedily from the node with the most
     /// free memory, spilling to the next-freest when one runs out.
@@ -65,7 +64,7 @@ pub enum AllocPolicy {
 
 /// The placement of one VM's memory: how many bytes of the linear guest
 /// address space live on each node, in allocation order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmMemoryLayout {
     /// Consecutive extents of the guest address space: `(node, bytes)`.
     extents: Vec<(NodeId, u64)>,

@@ -8,10 +8,9 @@
 //! factor the paper lists, and the reason Fig. 1's 80 %-remote workloads
 //! hurt twice.
 
-use serde::{Deserialize, Serialize};
 
 /// Queueing model of one direction of one interconnect link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QpiModel {
     /// Usable bandwidth per direction, bytes/second.
     pub bandwidth_bytes_per_s: u64,

@@ -1,13 +1,12 @@
 //! Cache descriptions.
 
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one cache level.
 ///
 /// The contention model only needs the shared LLC (size and line size); L1
 /// and L2 are carried for documentation/reporting fidelity with Table I and
 /// folded into each workload's base CPI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Cache level (1, 2, 3, …).
     pub level: u8,

@@ -1,14 +1,13 @@
 //! NUMA distance matrix (ACPI SLIT-style relative distances).
 
 use crate::ids::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Square matrix of relative access distances between nodes.
 ///
 /// Follows the ACPI SLIT convention: local distance is 10, a one-hop remote
 /// node is typically 20–21. Only relative order matters to the schedulers
 /// (which walk remote nodes nearest-first).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DistanceMatrix {
     n: usize,
     /// Row-major `n*n` entries.

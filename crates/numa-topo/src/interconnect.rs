@@ -1,10 +1,9 @@
 //! Inter-node interconnect links (QPI on the paper's machine).
 
 use crate::ids::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A bidirectional point-to-point link between two NUMA nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterconnectLink {
     pub name: String,
     pub a: NodeId,

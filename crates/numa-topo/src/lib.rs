@@ -26,13 +26,12 @@ pub use ids::{NodeId, PcpuId, VcpuId, VmId};
 pub use interconnect::InterconnectLink;
 pub use node::NodeConfig;
 
-use serde::{Deserialize, Serialize};
 use sim_core::SimError;
 
 /// A complete, validated machine description.
 ///
 /// Construct via [`TopologyBuilder`] (which validates) or a preset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     nodes: Vec<NodeConfig>,
     /// `pcpu_node[p]` = NUMA node of PCPU `p`. PCPU ids are dense `0..n`.

@@ -1,11 +1,10 @@
 //! Per-node hardware configuration.
 
 use crate::cache::CacheConfig;
-use serde::{Deserialize, Serialize};
 
 /// Static configuration of one NUMA node: its memory, integrated memory
 /// controller (IMC), and the last-level cache shared by its cores.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeConfig {
     /// Local DRAM capacity in bytes.
     pub mem_bytes: u64,

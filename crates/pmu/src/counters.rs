@@ -1,6 +1,5 @@
 //! Per-VCPU hardware counter state.
 
-use serde::{Deserialize, Serialize};
 use sim_core::Counter;
 
 /// The counter set vProbe reads for one VCPU.
@@ -9,7 +8,7 @@ use sim_core::Counter;
 /// — the simulation stand-in for the paper's `N(vc, i)` "pages accessed in
 /// the i-th node" (an access count over a period is proportional to touched
 /// pages for the steady workloads evaluated).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct VcpuPmu {
     instructions: Counter,
     llc_refs: Counter,
@@ -20,7 +19,7 @@ pub struct VcpuPmu {
 }
 
 /// A windowed reading taken at the end of a sampling period.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PmuSample {
     pub instructions: u64,
     pub llc_refs: u64,

@@ -8,11 +8,10 @@
 //! costs on the paper's hardware generation, and track them per run so the
 //! Table III experiment *measures* rather than assumes the result.
 
-use serde::{Deserialize, Serialize};
 use sim_core::SimDuration;
 
 /// Per-operation costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
     /// Cost of reading one VCPU's counter set (a handful of RDMSRs plus
     /// bookkeeping), charged at every counter update point.
@@ -35,7 +34,7 @@ impl Default for OverheadModel {
 }
 
 /// Accumulates overhead against total busy time for one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OverheadTracker {
     model: OverheadModel,
     overhead_us: f64,

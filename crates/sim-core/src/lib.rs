@@ -14,12 +14,14 @@
 
 pub mod clock;
 pub mod error;
+pub mod json;
 pub mod rng;
 pub mod series;
 pub mod stats;
 
 pub use clock::{Clock, SimDuration, SimTime};
 pub use error::SimError;
+pub use json::Json;
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{Counter, Histogram, RunningStats};

@@ -6,22 +6,207 @@
 //! randomness consumption to one subsystem never perturbs another — a
 //! property the reproduction relies on when comparing five schedulers on
 //! identical workloads.
+//!
+//! The generator is a self-contained ChaCha8 stream cipher core (64-bit
+//! block counter, 64-bit stream id), buffered four blocks at a time. Seeding
+//! expands the `u64` experiment seed into a 256-bit key with a PCG32 step,
+//! and integer ranges are drawn with widening-multiply rejection, so the
+//! byte stream and all derived draws are identical across platforms.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+/// Number of `u32` words buffered per refill (four 16-word ChaCha blocks).
+const BUF_WORDS: usize = 64;
+
+/// ChaCha8 block generator state: 256-bit key, 64-bit counter, 64-bit
+/// stream id (always zero here).
+#[derive(Debug, Clone)]
+struct ChaCha8 {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    /// Next unread word in `buf`; `BUF_WORDS` means "empty, refill".
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8 {
+    fn new(key: [u32; 8]) -> Self {
+        ChaCha8 {
+            key,
+            counter: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+
+    /// Compute one 64-byte ChaCha8 block for the given counter value.
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+        let mut s: [u32; 16] = [
+            SIGMA[0],
+            SIGMA[1],
+            SIGMA[2],
+            SIGMA[3],
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let init = s;
+        // ChaCha8: four double-rounds.
+        for _ in 0..4 {
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            out[i] = s[i].wrapping_add(init[i]);
+        }
+    }
+
+    fn refill(&mut self) {
+        for blk in 0..4 {
+            let counter = self.counter.wrapping_add(blk as u64);
+            let (lo, hi) = (blk * 16, blk * 16 + 16);
+            let mut words = [0u32; 16];
+            self.block(counter, &mut words);
+            self.buf[lo..hi].copy_from_slice(&words);
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill();
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // Mirror rand_core's BlockRng: consume two adjacent words when
+        // available, otherwise stitch across the refill boundary.
+        if self.index < BUF_WORDS - 1 {
+            let lo = self.buf[self.index];
+            let hi = self.buf[self.index + 1];
+            self.index += 2;
+            (u64::from(hi) << 32) | u64::from(lo)
+        } else if self.index >= BUF_WORDS {
+            self.refill();
+            let lo = self.buf[0];
+            let hi = self.buf[1];
+            self.index = 2;
+            (u64::from(hi) << 32) | u64::from(lo)
+        } else {
+            let lo = self.buf[BUF_WORDS - 1];
+            self.refill();
+            let hi = self.buf[0];
+            self.index = 1;
+            (u64::from(hi) << 32) | u64::from(lo)
+        }
+    }
+}
+
+/// Expand a `u64` seed into a 256-bit ChaCha key, one 32-bit PCG step per
+/// word (the same expansion rand_core uses for `seed_from_u64`).
+fn expand_seed(mut state: u64) -> [u32; 8] {
+    const MUL: u64 = 6_364_136_223_846_793_005;
+    const INC: u64 = 11_634_580_027_462_260_723;
+    let mut key = [0u32; 8];
+    for w in key.iter_mut() {
+        state = state.wrapping_mul(MUL).wrapping_add(INC);
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let rot = (state >> 59) as u32;
+        *w = xorshifted.rotate_right(rot);
+    }
+    key
+}
+
+/// Types that [`SimRng::range`] can sample uniformly from a half-open range.
+pub trait UniformSample: Copy + PartialOrd {
+    fn sample_range(rng: &mut SimRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($ty:ty, $unsigned:ty, $large:ty, $next:ident) => {
+        impl UniformSample for $ty {
+            fn sample_range(rng: &mut SimRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range in SimRng::range");
+                let span = (high as $unsigned).wrapping_sub(low as $unsigned);
+                // Widening-multiply rejection (Lemire): unbiased and uses
+                // one draw in the common case.
+                let zone = (span << span.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.chacha.$next() as $unsigned;
+                    let m = (v as $large) * (span as $large);
+                    let lo = m as $unsigned;
+                    if lo <= zone {
+                        let hi = (m >> <$unsigned>::BITS) as $unsigned;
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_uniform_int!(u32, u32, u64, next_u32);
+impl_uniform_int!(i32, u32, u64, next_u32);
+impl_uniform_int!(u64, u64, u128, next_u64);
+impl_uniform_int!(i64, u64, u128, next_u64);
+impl_uniform_int!(usize, u64, u128, next_u64);
+
+impl UniformSample for f64 {
+    fn sample_range(rng: &mut SimRng, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range in SimRng::range");
+        let v = low + (high - low) * rng.unit();
+        // Guard against rounding up to the excluded endpoint.
+        if v < high {
+            v
+        } else {
+            low.max(f64::from_bits(high.to_bits() - 1))
+        }
+    }
+}
 
 /// Seeded random source used throughout the simulation.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    chacha: ChaCha8,
 }
 
 impl SimRng {
     /// Create a root stream from an experiment seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            chacha: ChaCha8::new(expand_seed(seed)),
         }
     }
 
@@ -33,24 +218,18 @@ impl SimRng {
     /// the sense that the caller controls ordering: fork all children before
     /// drawing from the parent when strict independence is required.
     pub fn fork(&mut self, label: u64) -> SimRng {
-        let base = self.inner.next_u64();
-        SimRng {
-            inner: ChaCha8Rng::seed_from_u64(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        }
+        let base = self.next_u64();
+        SimRng::seed_from(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Uniform sample from a range, e.g. `rng.range(0..8)`.
-    pub fn range<T, R>(&mut self, range: R) -> T
-    where
-        T: SampleUniform,
-        R: SampleRange<T>,
-    {
-        self.inner.gen_range(range)
+    /// Uniform sample from a half-open range, e.g. `rng.range(0..8)`.
+    pub fn range<T: UniformSample>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)`: 53 random mantissa bits.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -64,7 +243,7 @@ impl SimRng {
         if len == 0 {
             None
         } else {
-            Some(self.inner.gen_range(0..len))
+            Some(self.range(0..len))
         }
     }
 
@@ -91,23 +270,28 @@ impl SimRng {
         }
         (mean).clamp(min, max)
     }
-}
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+    /// Next raw 32-bit draw from the stream.
+    pub fn next_u32(&mut self) -> u32 {
+        self.chacha.next_u32()
     }
 
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+    /// Next raw 64-bit draw from the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.chacha.next_u64()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+    /// Fill a byte slice from the stream (little-endian word order).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
     }
 }
 
@@ -209,5 +393,36 @@ mod tests {
             let v: u32 = rng.range(3..7);
             assert!((3..7).contains(&v));
         }
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = SimRng::seed_from(12);
+        let mut b = SimRng::seed_from(12);
+        let mut buf = [0u8; 10];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        assert_eq!(&buf[..4], &w0);
+        assert_eq!(&buf[4..8], &w1);
+        assert_eq!(&buf[8..], &w2[..2]);
+    }
+
+    /// The raw keystream for an all-zero key must match the published
+    /// ChaCha8 test vector (first block, counter 0).
+    #[test]
+    fn chacha8_zero_key_test_vector() {
+        let mut c = ChaCha8::new([0u32; 8]);
+        let expected_first_bytes: [u8; 16] = [
+            0x3e, 0x00, 0xef, 0x2f, 0x89, 0x5f, 0x40, 0xd6, 0x7f, 0x5b, 0xb8, 0xe8, 0x1f, 0x09,
+            0xa5, 0xa1,
+        ];
+        let mut got = [0u8; 16];
+        for (i, chunk) in got.chunks_exact_mut(4).enumerate() {
+            let _ = i;
+            chunk.copy_from_slice(&c.next_u32().to_le_bytes());
+        }
+        assert_eq!(got, expected_first_bytes);
     }
 }

@@ -1,11 +1,10 @@
 //! Time-stamped measurement series.
 
 use crate::clock::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// An append-only series of `(time, value)` points, used to record per-period
 /// measurements (remote-access ratio over time, throughput curves, …).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }

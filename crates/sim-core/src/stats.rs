@@ -1,13 +1,12 @@
 //! Statistics containers for experiment measurement.
 
-use serde::{Deserialize, Serialize};
 
 /// A monotonically increasing event counter with window support.
 ///
 /// The PMU crate samples counters per period: [`Counter::window`] returns
 /// the delta since the last [`Counter::reset_window`], while
 /// [`Counter::total`] never resets.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter {
     total: u64,
     window_base: u64,
@@ -39,7 +38,7 @@ impl Counter {
 }
 
 /// Streaming mean/variance/min/max (Welford's algorithm).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
@@ -125,7 +124,7 @@ impl RunningStats {
 
 /// A fixed-bucket histogram over `[lo, hi)` with uniform bucket width plus
 /// overflow/underflow buckets.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -7,11 +7,10 @@
 //! phases so experiments can stress how quickly each policy re-adapts.
 
 use crate::spec::WorkloadSpec;
-use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimTime};
 
 /// One phase: scale factors applied to the base spec.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Phase {
     pub duration: SimDuration,
     /// Multiplies RPTI (memory intensity).
@@ -76,13 +75,16 @@ impl PhasedWorkload {
         &self.base
     }
 
-    /// The spec in effect at simulated time `t`.
-    pub fn spec_at(&self, t: SimTime) -> WorkloadSpec {
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Index of the phase in effect at simulated time `t`.
+    pub fn phase_index_at(&self, t: SimTime) -> usize {
         let mut offset = t.as_micros() % self.cycle.as_micros();
-        let phase = self
-            .phases
+        self.phases
             .iter()
-            .find(|p| {
+            .position(|p| {
                 if offset < p.duration.as_micros() {
                     true
                 } else {
@@ -90,7 +92,15 @@ impl PhasedWorkload {
                     false
                 }
             })
-            .expect("offset < cycle implies a phase matches");
+            .expect("offset < cycle implies a phase matches")
+    }
+
+    /// The spec of phase `idx` (see [`PhasedWorkload::phase_index_at`]).
+    /// Phases are static, so callers on a hot path can compute each
+    /// phase's spec once and index by phase instead of rebuilding it
+    /// every quantum.
+    pub fn spec_for_phase(&self, idx: usize) -> WorkloadSpec {
+        let phase = &self.phases[idx];
         let mut spec = self.base.clone();
         spec.rpti *= phase.rpti_scale;
         let ws = (self.base.miss_curve.ws_bytes as f64 * phase.ws_scale).max(1.0) as u64;
@@ -100,6 +110,11 @@ impl PhasedWorkload {
             ws,
         );
         spec
+    }
+
+    /// The spec in effect at simulated time `t`.
+    pub fn spec_at(&self, t: SimTime) -> WorkloadSpec {
+        self.spec_for_phase(self.phase_index_at(t))
     }
 }
 

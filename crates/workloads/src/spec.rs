@@ -1,12 +1,11 @@
 //! The static workload description type.
 
 use mem_model::{AccessProfile, MissCurve};
-use serde::{Deserialize, Serialize};
 
 pub const MB: u64 = 1024 * 1024;
 
 /// Which benchmark family a workload comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPEC CPU2006 (single-threaded; the paper runs four identical
     /// instances per VM).
@@ -21,7 +20,7 @@ pub enum Suite {
 
 /// The paper's VCPU taxonomy (§III-B2), used here to label what class a
 /// workload *should* land in — tests assert the classifier recovers it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LlcClass {
     /// LLC-friendly: negligible LLC demand.
     Friendly,
@@ -32,7 +31,7 @@ pub enum LlcClass {
 }
 
 /// Static behavioural description of one application (one thread/instance).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     pub name: String,
     pub suite: Suite,

@@ -1,11 +1,10 @@
 //! Run measurement.
 
 use numa_topo::VmId;
-use serde::{Deserialize, Serialize};
-use sim_core::{SimDuration, TimeSeries};
+use sim_core::{Json, SimDuration, SimTime, TimeSeries};
 
 /// Aggregates for one VM over a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct VmMetrics {
     pub instructions: u64,
     pub llc_refs: u64,
@@ -41,10 +40,37 @@ impl VmMetrics {
             self.instructions as f64 / s
         }
     }
+
+    fn to_value(&self) -> Json {
+        Json::Obj(vec![
+            ("instructions".into(), Json::from(self.instructions)),
+            ("llc_refs".into(), Json::from(self.llc_refs)),
+            ("llc_misses".into(), Json::from(self.llc_misses)),
+            ("local_accesses".into(), Json::from(self.local_accesses)),
+            ("remote_accesses".into(), Json::from(self.remote_accesses)),
+            ("busy_us".into(), Json::from(self.busy_us)),
+        ])
+    }
+
+    fn from_value(v: &Json) -> Result<VmMetrics, String> {
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing/invalid vm metric '{key}'"))
+        };
+        Ok(VmMetrics {
+            instructions: u("instructions")?,
+            llc_refs: u("llc_refs")?,
+            llc_misses: u("llc_misses")?,
+            local_accesses: u("local_accesses")?,
+            remote_accesses: u("remote_accesses")?,
+            busy_us: u("busy_us")?,
+        })
+    }
 }
 
 /// Whole-run measurement.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
     pub elapsed: SimDuration,
     pub per_vm: Vec<VmMetrics>,
@@ -121,6 +147,135 @@ impl RunMetrics {
         } else {
             self.overhead_us / self.busy_us * 100.0
         }
+    }
+
+    /// Serialize to JSON for external tooling; [`RunMetrics::from_json`]
+    /// inverts it exactly (including the per-period series).
+    pub fn to_json(&self) -> String {
+        let series = |s: &[TimeSeries]| {
+            Json::Arr(
+                s.iter()
+                    .map(|ts| {
+                        Json::Arr(
+                            ts.points()
+                                .iter()
+                                .map(|&(t, v)| {
+                                    Json::Arr(vec![Json::from(t.as_micros()), Json::Num(v)])
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("elapsed_us".into(), Json::from(self.elapsed.as_micros())),
+            (
+                "per_vm".into(),
+                Json::Arr(self.per_vm.iter().map(VmMetrics::to_value).collect()),
+            ),
+            ("migrations".into(), Json::from(self.migrations)),
+            (
+                "cross_node_migrations".into(),
+                Json::from(self.cross_node_migrations),
+            ),
+            ("steals".into(), Json::from(self.steals)),
+            ("steal_attempts".into(), Json::from(self.steal_attempts)),
+            (
+                "steal_attempts_empty".into(),
+                Json::from(self.steal_attempts_empty),
+            ),
+            ("steals_per_vm".into(), Json::from(self.steals_per_vm.clone())),
+            ("idle_steals".into(), Json::from(self.idle_steals)),
+            ("partition_moves".into(), Json::from(self.partition_moves)),
+            ("page_migrations".into(), Json::from(self.page_migrations)),
+            (
+                "page_migration_bytes".into(),
+                Json::from(self.page_migration_bytes),
+            ),
+            (
+                "idle_with_work_quanta".into(),
+                Json::from(self.idle_with_work_quanta),
+            ),
+            ("overhead_us".into(), Json::Num(self.overhead_us)),
+            ("busy_us".into(), Json::Num(self.busy_us)),
+            (
+                "remote_ratio_series".into(),
+                series(&self.remote_ratio_series),
+            ),
+            ("throughput_series".into(), series(&self.throughput_series)),
+        ])
+        .to_string()
+    }
+
+    /// Parse the [`RunMetrics::to_json`] format.
+    pub fn from_json(text: &str) -> Result<RunMetrics, String> {
+        let doc = Json::parse(text)?;
+        let u = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing/invalid '{key}'"))
+        };
+        let f = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing/invalid '{key}'"))
+        };
+        let series = |key: &str| -> Result<Vec<TimeSeries>, String> {
+            doc.get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("missing/invalid '{key}'"))?
+                .iter()
+                .map(|ts| {
+                    let mut out = TimeSeries::new();
+                    for pt in ts.as_array().ok_or("series must be an array")? {
+                        let pair = pt.as_array().ok_or("series point must be a pair")?;
+                        let (t, v) = match pair {
+                            [t, v] => (
+                                t.as_u64().ok_or("bad series time")?,
+                                v.as_f64().ok_or("bad series value")?,
+                            ),
+                            _ => return Err("series point must be a pair".into()),
+                        };
+                        out.push(SimTime::from_micros(t), v);
+                    }
+                    Ok(out)
+                })
+                .collect()
+        };
+        let per_vm = doc
+            .get("per_vm")
+            .and_then(Json::as_array)
+            .ok_or("missing/invalid 'per_vm'")?
+            .iter()
+            .map(VmMetrics::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let steals_per_vm = doc
+            .get("steals_per_vm")
+            .and_then(Json::as_array)
+            .ok_or("missing/invalid 'steals_per_vm'")?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| "bad steal count".to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunMetrics {
+            elapsed: SimDuration::from_micros(u("elapsed_us")?),
+            per_vm,
+            migrations: u("migrations")?,
+            cross_node_migrations: u("cross_node_migrations")?,
+            steals: u("steals")?,
+            steal_attempts: u("steal_attempts")?,
+            steal_attempts_empty: u("steal_attempts_empty")?,
+            steals_per_vm,
+            idle_steals: u("idle_steals")?,
+            partition_moves: u("partition_moves")?,
+            page_migrations: u("page_migrations")?,
+            page_migration_bytes: u("page_migration_bytes")?,
+            idle_with_work_quanta: u("idle_with_work_quanta")?,
+            overhead_us: f("overhead_us")?,
+            busy_us: f("busy_us")?,
+            remote_ratio_series: series("remote_ratio_series")?,
+            throughput_series: series("throughput_series")?,
+        })
     }
 }
 

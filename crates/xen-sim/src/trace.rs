@@ -7,12 +7,11 @@
 //! came out the way it did, and gives examples something to print.
 
 use numa_topo::{NodeId, PcpuId, VcpuId};
-use serde::{Deserialize, Serialize};
 use sim_core::SimTime;
 use std::collections::VecDeque;
 
 /// One traced scheduling event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// `vcpu` started running on `pcpu`.
     SwitchIn { vcpu: VcpuId, pcpu: PcpuId },
@@ -38,7 +37,7 @@ pub enum Event {
 }
 
 /// A bounded ring of timestamped events.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TraceLog {
     enabled: bool,
     capacity: usize,

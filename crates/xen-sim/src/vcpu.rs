@@ -1,7 +1,6 @@
 //! Per-VCPU scheduler state.
 
 use numa_topo::{NodeId, PcpuId, VcpuId, VmId};
-use serde::{Deserialize, Serialize};
 use sim_core::SimTime;
 
 /// Credit-scheduler priority.
@@ -11,7 +10,7 @@ use sim_core::SimTime;
 /// wakeups of otherwise-idle VCPUs arrive at BOOST, preempting the
 /// CPU-bound workers — the churn engine behind the Credit scheduler's
 /// migration behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Priority {
     /// Freshly woken with credits: runs first.
     Boost,
@@ -22,7 +21,7 @@ pub enum Priority {
 }
 
 /// What a VCPU does when it runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VcpuKind {
     /// Hosts a guest application thread; always runnable.
     Worker,
@@ -37,7 +36,7 @@ pub enum VcpuKind {
 /// `node_affinity`, `LLC_pressure`, and `vcpu_type` live policy-side; the
 /// machine holds the stock credit fields plus the partitioning pin
 /// (`assigned_node`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VcpuState {
     pub id: VcpuId,
     pub vm: VmId,

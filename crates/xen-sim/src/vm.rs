@@ -121,14 +121,47 @@ impl VmConfig {
 pub struct GuestThread {
     pub workload: PhasedWorkload,
     /// Fraction of this thread's accesses landing on each node; fixed at
-    /// VM creation because machine pages are fixed at domain creation.
+    /// VM creation because machine pages are fixed at domain creation
+    /// (page migration is the one exception — it goes through
+    /// [`VmRuntime::migrate_thread_pages`], which refreshes the cache).
     pub access_dist: Vec<f64>,
+    /// One ready-made access profile per workload phase, so the per-quantum
+    /// execution path borrows a profile instead of rebuilding spec + node
+    /// distribution every time a VCPU runs.
+    profiles: Vec<mem_model::AccessProfile>,
 }
 
 impl GuestThread {
+    fn new(workload: PhasedWorkload, access_dist: Vec<f64>) -> Self {
+        let mut t = GuestThread {
+            workload,
+            access_dist,
+            profiles: Vec::new(),
+        };
+        t.rebuild_profiles();
+        t
+    }
+
+    fn rebuild_profiles(&mut self) {
+        self.profiles = (0..self.workload.num_phases())
+            .map(|i| {
+                self.workload
+                    .spec_for_phase(i)
+                    .access_profile(self.access_dist.clone())
+            })
+            .collect();
+    }
+
     /// The workload spec in effect at time `t`.
     pub fn spec_at(&self, t: SimTime) -> WorkloadSpec {
         self.workload.spec_at(t)
+    }
+
+    /// The cached access profile in effect at time `t` — identical to
+    /// `spec_at(t).access_profile(access_dist.clone())` without the
+    /// allocations.
+    pub fn profile_at(&self, t: SimTime) -> &mem_model::AccessProfile {
+        &self.profiles[self.workload.phase_index_at(t)]
     }
 }
 
@@ -173,10 +206,7 @@ impl VmRuntime {
                     Some(period) => PhasedWorkload::alternating(spec.clone(), period),
                     None => PhasedWorkload::steady(spec.clone()),
                 };
-                threads.push(GuestThread {
-                    workload,
-                    access_dist: dist,
-                });
+                threads.push(GuestThread::new(workload, dist));
                 idx += 1;
             }
         }
@@ -244,6 +274,7 @@ impl VmRuntime {
             for (i, t) in self.threads.iter_mut().enumerate() {
                 let shared = t.workload.base().shared_frac;
                 t.access_dist = self.layout.thread_access_distribution(i, n, shared);
+                t.rebuild_profiles();
             }
         }
         moved

@@ -1,0 +1,253 @@
+//! Vendored, dependency-free subset of the `criterion` crate.
+//!
+//! Provides the API surface the workspace's bench targets use —
+//! `Criterion` with `sample_size`/`measurement_time`/`warm_up_time`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock sampler: per benchmark it calibrates an iteration count to
+//! fill `measurement_time / sample_size`, takes `sample_size` timed
+//! samples, and prints min/mean/max per-iteration times.
+//!
+//! Command-line behaviour: any arguments are treated as substring filters
+//! on benchmark names (the `--bench`/`--quiet` flags cargo passes are
+//! ignored), matching how the real harness is typically used.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(2),
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (the real crate requires
+    /// ≥ 10; we accept anything ≥ 1).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total wall-clock budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget spent running the benchmark before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return self;
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: repeat single iterations until the budget is spent,
+        // remembering the latest per-iteration cost for calibration.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        loop {
+            b.iters = 1;
+            f(&mut b);
+            if b.elapsed > Duration::ZERO {
+                per_iter = b.elapsed;
+            }
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        // Calibrate so `sample_size` samples fill `measurement_time`.
+        let per_sample = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters = (per_sample / per_iter.as_nanos().max(1)).clamp(1, u128::from(u32::MAX)) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, x| a.total_cmp(x));
+        let min = samples_ns.first().copied().unwrap_or(0.0);
+        let max = samples_ns.last().copied().unwrap_or(0.0);
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len().max(1) as f64;
+        println!(
+            "{id:<44} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            self.sample_size,
+            iters,
+        );
+        self
+    }
+
+    /// Start a named group; benchmark ids inside it are prefixed with
+    /// `name/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Handle passed to the measured closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `f`; the harness reads back the total.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.filters.clear();
+        let mut runs = 0u64;
+        c.bench_function("selftest/add", |b| {
+            runs += 1;
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+        // warm-up calls + 3 samples.
+        assert!(runs >= 4);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default()
+            .sample_size(1)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.filters.clear();
+        let mut g = c.benchmark_group("grp");
+        let mut ran = false;
+        g.bench_function("x", |b| {
+            ran = true;
+            b.iter(|| 1u32)
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filters_skip_unmatched() {
+        let mut c = Criterion::default()
+            .sample_size(1)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.filters = vec!["only-this".into()];
+        let mut ran = false;
+        c.bench_function("something/else", |b| {
+            ran = true;
+            b.iter(|| 1u32)
+        });
+        assert!(!ran);
+    }
+}
