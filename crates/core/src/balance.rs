@@ -47,8 +47,7 @@ pub fn numa_aware_steal(ctx: &StealContext<'_>) -> Option<(PcpuId, VcpuId)> {
                 .enumerate()
                 .min_by(|(i, a), (j, b)| {
                     ctx.pressure[a.index()]
-                        .partial_cmp(&ctx.pressure[b.index()])
-                        .expect("pressures are finite")
+                        .total_cmp(&ctx.pressure[b.index()])
                         .then(i.cmp(j))
                 })
                 .map(|(_, v)| v);

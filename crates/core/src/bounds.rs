@@ -75,7 +75,7 @@ impl DynamicBounds {
         if busy.len() < 4 {
             return self.current; // not enough signal to adapt
         }
-        busy.sort_by(|a, b| a.partial_cmp(b).expect("pressures are finite"));
+        busy.sort_by(f64::total_cmp);
         let q = |f: f64| {
             let idx = ((busy.len() - 1) as f64 * f).round() as usize;
             busy[idx]

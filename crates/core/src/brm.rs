@@ -115,12 +115,11 @@ impl SchedPolicy for BrmPolicy {
                 .copied()
                 .max_by(|(_, a), (_, b)| {
                     self.local_gain(*a, thief_node)
-                        .partial_cmp(&self.local_gain(*b, thief_node))
-                        .expect("gains are finite")
+                        .total_cmp(&self.local_gain(*b, thief_node))
                 })
         } else {
             // Random move keeps the estimator exploring.
-            let idx = self.rng.index(all.len()).expect("non-empty");
+            let idx = self.rng.index(all.len())?;
             Some(all[idx])
         }
     }

@@ -50,6 +50,7 @@ pub mod analyzer;
 pub mod balance;
 pub mod bounds;
 pub mod brm;
+pub mod degrade;
 pub mod partition;
 pub mod scheduler;
 pub mod variants;
@@ -58,6 +59,7 @@ pub use analyzer::{PmuDataAnalyzer, VcpuMeta, VcpuType};
 pub use balance::numa_aware_steal;
 pub use bounds::{Bounds, DynamicBounds};
 pub use brm::BrmPolicy;
+pub use degrade::{DegradeConfig, DegradeState};
 pub use partition::{partition_vcpus, PartitionInput};
 pub use scheduler::VProbePolicy;
-pub use variants::{lb_only, vcpu_p, vprobe};
+pub use variants::{lb_only, vcpu_p, vprobe, vprobe_gd};

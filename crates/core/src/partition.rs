@@ -30,10 +30,13 @@ pub struct PartitionInput {
 
 /// Algorithm 1. Returns `(vcpu, node)` in assignment order.
 ///
-/// Panics if `num_nodes == 0`. LLC-friendly inputs are ignored (callers
-/// normally pre-filter, but robustness matters more than strictness here).
+/// With `num_nodes == 0` there is nowhere to place anything, so the
+/// result is empty. LLC-friendly inputs are ignored (callers normally
+/// pre-filter, but robustness matters more than strictness here).
 pub fn partition_vcpus(inputs: &[PartitionInput], num_nodes: usize) -> Vec<(VcpuId, NodeId)> {
-    assert!(num_nodes > 0, "cannot partition across zero nodes");
+    if num_nodes == 0 || inputs.is_empty() {
+        return Vec::new();
+    }
     // groupOfVc(c, p): FIFO per (type, affinity-node).
     let mut groups: Vec<Vec<VecDeque<VcpuId>>> =
         vec![vec![VecDeque::new(); num_nodes]; 2];
@@ -102,6 +105,13 @@ mod tests {
             v[node.index()] += 1;
         }
         v
+    }
+
+    #[test]
+    fn zero_nodes_places_nothing() {
+        let inputs = vec![inp(0, VcpuType::Thrashing, Some(0))];
+        assert!(partition_vcpus(&inputs, 0).is_empty());
+        assert!(partition_vcpus(&[], 2).is_empty());
     }
 
     #[test]

@@ -3,10 +3,12 @@
 use crate::analyzer::PmuDataAnalyzer;
 use crate::balance::numa_aware_steal;
 use crate::bounds::{Bounds, DynamicBounds};
+use crate::degrade::{DegradeConfig, DegradeState};
 use crate::partition::{partition_vcpus, PartitionInput};
 use numa_topo::{PcpuId, VcpuId};
 use xen_sim::{
-    AnalyzerView, PageMigration, PartitionPlan, SchedPolicy, StealContext, VcpuAssignment,
+    AnalyzerView, DegradeReport, PageMigration, PartitionPlan, PeriodFeedback, SchedPolicy,
+    StealContext, VcpuAssignment,
 };
 
 /// vProbe: PMU data analyzer + VCPU periodical partitioning + NUMA-aware
@@ -20,6 +22,9 @@ pub struct VProbePolicy {
     dynamic_bounds: Option<DynamicBounds>,
     /// §VI extension: per-period per-VCPU page-migration budget in bytes.
     page_migration_budget: Option<u64>,
+    /// Graceful-degradation layer (confidence gating, Credit fallback,
+    /// migration retries); `None` reproduces the paper's trusting vProbe.
+    degrade: Option<DegradeState>,
     name: String,
 }
 
@@ -34,6 +39,7 @@ impl VProbePolicy {
             numa_lb_enabled: true,
             dynamic_bounds: None,
             page_migration_budget: None,
+            degrade: None,
             name: "vprobe".into(),
         }
     }
@@ -70,6 +76,15 @@ impl VProbePolicy {
         self
     }
 
+    /// Enable graceful degradation: confidence-gated partitioning, plain
+    /// Credit fallback after consecutive dark periods, and bounded
+    /// retry-with-backoff for failed migrations.
+    pub fn with_degradation(mut self, cfg: DegradeConfig) -> Self {
+        self.degrade = Some(DegradeState::new(cfg));
+        self.name = format!("{}-gd", self.name);
+        self
+    }
+
     pub fn bounds(&self) -> Bounds {
         self.analyzer.bounds()
     }
@@ -81,6 +96,27 @@ impl SchedPolicy for VProbePolicy {
     }
 
     fn on_sample(&mut self, view: AnalyzerView<'_>) -> PartitionPlan {
+        // Degradation gates: a dark PMU stream drops us to plain Credit,
+        // and a low-confidence period is skipped rather than acted on —
+        // partitioning on lost samples would scatter VCPUs at random.
+        let mut report = DegradeReport::default();
+        if let Some(d) = &self.degrade {
+            if d.in_fallback() {
+                report.fallback_active = true;
+                report.fallback_entered = d.entered_this_period();
+                return PartitionPlan {
+                    report,
+                    ..PartitionPlan::default()
+                };
+            }
+            if d.period_invalid() {
+                report.period_skipped = true;
+                return PartitionPlan {
+                    report,
+                    ..PartitionPlan::default()
+                };
+            }
+        }
         let metas = self.analyzer.analyze(view.samples);
         if let Some(dyn_bounds) = &mut self.dynamic_bounds {
             let pressures: Vec<f64> = metas.iter().map(|m| m.pressure).collect();
@@ -91,11 +127,15 @@ impl SchedPolicy for VProbePolicy {
             return PartitionPlan::none();
         }
         // Memory-intensive VCPUs go through Algorithm 1; friendly ones are
-        // released to the default balancer.
+        // released to the default balancer. Dampening: VCPUs whose sample
+        // this period is invalid are left wherever they are — neither
+        // partitioned nor released on the strength of bad data.
+        let vcpu_valid =
+            |i: usize| -> bool { self.degrade.as_ref().is_none_or(|d| d.vcpu_valid(i)) };
         let inputs: Vec<PartitionInput> = metas
             .iter()
             .enumerate()
-            .filter(|(_, m)| m.vcpu_type.is_memory_intensive())
+            .filter(|(i, m)| m.vcpu_type.is_memory_intensive() && vcpu_valid(*i))
             .map(|(i, m)| PartitionInput {
                 vcpu: VcpuId::new(i as u32),
                 vcpu_type: m.vcpu_type,
@@ -127,11 +167,24 @@ impl SchedPolicy for VProbePolicy {
             })
             .collect();
         for (i, m) in metas.iter().enumerate() {
-            if !m.vcpu_type.is_memory_intensive() {
+            if !m.vcpu_type.is_memory_intensive() && vcpu_valid(i) {
                 let vcpu = VcpuId::new(i as u32);
                 if view.vcpus[i].assigned_node.is_some() {
                     assignments.push(VcpuAssignment { vcpu, node: None });
                 }
+            }
+        }
+        // Re-request failed migrations whose backoff has elapsed, unless
+        // this period's partitioning already re-placed the VCPU.
+        if let Some(d) = &mut self.degrade {
+            for (vcpu, node) in d.take_due_retries() {
+                if !assignments.iter().any(|a| a.vcpu == vcpu) {
+                    assignments.push(VcpuAssignment {
+                        vcpu,
+                        node: Some(node),
+                    });
+                }
+                report.migration_retries += 1;
             }
         }
         // The paper's partitioning is a one-shot migration (soft): its
@@ -142,11 +195,15 @@ impl SchedPolicy for VProbePolicy {
             assignments,
             hard: false,
             page_migrations,
+            report,
         }
     }
 
     fn steal(&mut self, ctx: StealContext<'_>) -> Option<(PcpuId, VcpuId)> {
-        if self.numa_lb_enabled {
+        // In fallback the NUMA-aware policy is suspended too: its inputs
+        // (per-VCPU pressures) come from the same dark PMU stream.
+        let fallback = self.degrade.as_ref().is_some_and(DegradeState::in_fallback);
+        if self.numa_lb_enabled && !fallback {
             numa_aware_steal(&ctx)
         } else {
             // Stock Credit behaviour: first candidate in PCPU id order.
@@ -156,6 +213,12 @@ impl SchedPolicy for VProbePolicy {
                 }
             }
             None
+        }
+    }
+
+    fn on_period_feedback(&mut self, fb: &PeriodFeedback<'_>) {
+        if let Some(d) = &mut self.degrade {
+            d.on_feedback(fb);
         }
     }
 
@@ -323,5 +386,136 @@ mod tests {
         assert!(crate::variants::vprobe(2, Bounds::default()).uses_pmu());
         assert!(crate::variants::vcpu_p(2, Bounds::default()).uses_pmu());
         assert!(crate::variants::lb_only(2, Bounds::default()).uses_pmu());
+        assert!(crate::variants::vprobe_gd(2, Bounds::default()).uses_pmu());
+    }
+
+    fn dark_feedback(p: &mut VProbePolicy, periods: usize) {
+        for _ in 0..periods {
+            p.on_period_feedback(&PeriodFeedback {
+                sample_validity: &[0.0, 0.0],
+                failed_migrations: &[],
+            });
+        }
+    }
+
+    #[test]
+    fn single_dark_period_is_skipped_not_fallback() {
+        let topo = presets::xeon_e5620();
+        let mut p = crate::variants::vprobe_gd(2, Bounds::default());
+        dark_feedback(&mut p, 1);
+        let samples = vec![sample(1_000_000, 25_000, vec![100, 900])];
+        let vs = views(1);
+        let plan = p.on_sample(AnalyzerView {
+            topo: &topo,
+            samples: &samples,
+            vcpus: &vs,
+        });
+        assert!(plan.assignments.is_empty());
+        assert!(plan.report.period_skipped);
+        assert!(!plan.report.fallback_active);
+    }
+
+    #[test]
+    fn dark_streak_falls_back_to_credit_and_recovers() {
+        let topo = presets::xeon_e5620();
+        let mut p = crate::variants::vprobe_gd(2, Bounds::default());
+        dark_feedback(&mut p, 3);
+        let samples = vec![sample(1_000_000, 25_000, vec![100, 900])];
+        let vs = views(1);
+        let plan = p.on_sample(AnalyzerView {
+            topo: &topo,
+            samples: &samples,
+            vcpus: &vs,
+        });
+        assert!(plan.assignments.is_empty());
+        assert!(plan.report.fallback_active);
+        assert!(plan.report.fallback_entered);
+        // In fallback the steal path degrades to Credit's first-candidate
+        // pick, ignoring NUMA locality.
+        let victims = vec![
+            (PcpuId::new(5), 9, vec![VcpuId::new(1)]),
+            (PcpuId::new(3), 2, vec![VcpuId::new(2)]),
+        ];
+        let pressure = vec![0.0; 8];
+        let got = p.steal(StealContext {
+            topo: &topo,
+            idle_pcpu: PcpuId::new(0),
+            victims: &victims,
+            pressure: &pressure,
+            would_idle: true,
+        });
+        assert_eq!(got, Some((PcpuId::new(5), VcpuId::new(1))));
+        // One healthy period exits fallback and partitioning resumes.
+        p.on_period_feedback(&PeriodFeedback {
+            sample_validity: &[1.0],
+            failed_migrations: &[],
+        });
+        let plan = p.on_sample(AnalyzerView {
+            topo: &topo,
+            samples: &samples,
+            vcpus: &vs,
+        });
+        assert!(!plan.report.fallback_active);
+        assert_eq!(plan.assignments.len(), 1);
+        assert_eq!(plan.assignments[0].node, Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn invalid_vcpu_is_dampened_in_valid_period() {
+        let topo = presets::xeon_e5620();
+        let mut p = crate::variants::vprobe_gd(2, Bounds::default());
+        // vcpu1's sample was lost; the period overall stays trusted.
+        p.on_period_feedback(&PeriodFeedback {
+            sample_validity: &[1.0, 0.0, 1.0],
+            failed_migrations: &[],
+        });
+        // All three look thrashing, but vcpu1's data is known-bad.
+        let samples = vec![
+            sample(1_000_000, 25_000, vec![100, 900]),
+            sample(1_000_000, 25_000, vec![900, 100]),
+            sample(1_000_000, 25_000, vec![800, 200]),
+        ];
+        let vs = views(3);
+        let plan = p.on_sample(AnalyzerView {
+            topo: &topo,
+            samples: &samples,
+            vcpus: &vs,
+        });
+        assert!(!plan.report.period_skipped);
+        assert!(plan.assignments.iter().any(|a| a.vcpu.raw() == 0));
+        assert!(
+            !plan.assignments.iter().any(|a| a.vcpu.raw() == 1),
+            "vcpu with invalid sample must not be re-placed"
+        );
+        assert!(plan.assignments.iter().any(|a| a.vcpu.raw() == 2));
+    }
+
+    #[test]
+    fn failed_migration_is_retried_after_backoff() {
+        let topo = presets::xeon_e5620();
+        let mut p = crate::variants::vprobe_gd(2, Bounds::default());
+        let vcpu = VcpuId::new(0);
+        let node = NodeId::new(1);
+        p.on_period_feedback(&PeriodFeedback {
+            sample_validity: &[1.0],
+            failed_migrations: &[(vcpu, node)],
+        });
+        p.on_period_feedback(&PeriodFeedback {
+            sample_validity: &[1.0],
+            failed_migrations: &[],
+        });
+        // A friendly, unpinned VCPU: partitioning itself requests nothing,
+        // so the only assignment is the retry.
+        let samples = vec![sample(1_000_000, 500, vec![10, 0])];
+        let vs = views(1);
+        let plan = p.on_sample(AnalyzerView {
+            topo: &topo,
+            samples: &samples,
+            vcpus: &vs,
+        });
+        assert_eq!(plan.report.migration_retries, 1);
+        assert_eq!(plan.assignments.len(), 1);
+        assert_eq!(plan.assignments[0].vcpu, vcpu);
+        assert_eq!(plan.assignments[0].node, Some(node));
     }
 }

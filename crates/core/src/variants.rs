@@ -8,6 +8,7 @@
 //! * Credit lives in `xen_sim::CreditPolicy`; BRM in [`crate::brm`].
 
 use crate::bounds::Bounds;
+use crate::degrade::DegradeConfig;
 use crate::scheduler::VProbePolicy;
 
 /// The full vProbe scheduler.
@@ -25,6 +26,14 @@ pub fn lb_only(num_nodes: usize, bounds: Bounds) -> VProbePolicy {
     VProbePolicy::with_mechanisms(num_nodes, bounds, false, true, "lb")
 }
 
+/// vProbe hardened with the graceful-degradation layer (robustness
+/// extension): confidence-gated partitioning, Credit fallback on PMU
+/// outage, bounded migration retries. Identical to [`vprobe`] on clean
+/// input.
+pub fn vprobe_gd(num_nodes: usize, bounds: Bounds) -> VProbePolicy {
+    vprobe(num_nodes, bounds).with_degradation(DegradeConfig::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -35,5 +44,6 @@ mod tests {
         assert_eq!(vprobe(2, Bounds::default()).name(), "vprobe");
         assert_eq!(vcpu_p(2, Bounds::default()).name(), "vcpu-p");
         assert_eq!(lb_only(2, Bounds::default()).name(), "lb");
+        assert_eq!(vprobe_gd(2, Bounds::default()).name(), "vprobe-gd");
     }
 }

@@ -7,6 +7,8 @@
 //! repro --csv DIR all  # additionally write one CSV per artifact
 //! repro --jobs 1 all   # sequential (identical output, slower)
 //! repro --seed 7 all   # override the simulation seed
+//! repro --fault-rate 0.05 --fault-seed 1 all   # run under fault injection
+//! repro fig-faults     # the robustness sweep (rates swept internally)
 //! ```
 //!
 //! Every invocation also records per-artifact and total wall-clock time in
@@ -18,14 +20,24 @@ use experiments::report::Table;
 use experiments::runner::RunOptions;
 use experiments::{
     fig1_remote_ratio, fig3_bounds, fig4_spec, fig5_npb, fig6_memcached, fig7_redis, fig8_period,
-    parallel, table3_overhead,
+    fig_faults, parallel, table3_overhead,
 };
-use sim_core::{Json, SimDuration};
+use sim_core::{FaultConfig, Json, SimDuration};
 use std::path::PathBuf;
 use std::time::Instant;
 
-const ARTIFACTS: [&str; 10] = [
-    "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "fig8", "ext-pagemig", "ext-scaling",
+const ARTIFACTS: [&str; 11] = [
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table3",
+    "fig8",
+    "fig-faults",
+    "ext-pagemig",
+    "ext-scaling",
 ];
 
 const BENCH_FILE: &str = "BENCH_repro.json";
@@ -36,9 +48,12 @@ fn main() {
     let csv_dir = take_value(&mut args, "--csv").map(PathBuf::from);
     let jobs = take_value(&mut args, "--jobs").map(|v| parse_num(&v, "--jobs"));
     let seed = take_value(&mut args, "--seed").map(|v| parse_num(&v, "--seed"));
+    let fault_rate = take_value(&mut args, "--fault-rate").map(|v| parse_rate(&v, "--fault-rate"));
+    let fault_seed = take_value(&mut args, "--fault-seed").map(|v| parse_num(&v, "--fault-seed"));
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: repro [--quick] [--csv DIR] [--jobs N] [--seed N] all | {}",
+            "usage: repro [--quick] [--csv DIR] [--jobs N] [--seed N] \
+             [--fault-rate R] [--fault-seed N] all | {}",
             ARTIFACTS.join(" | ")
         );
         std::process::exit(2);
@@ -74,12 +89,20 @@ fn main() {
     if let Some(s) = seed {
         opts.seed = s;
     }
+    if fault_rate.is_some() || fault_seed.is_some() {
+        let cfg = FaultConfig::uniform(fault_rate.unwrap_or(0.0), fault_seed.unwrap_or(1));
+        if let Err(e) = cfg.validate() {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        opts.faults = cfg;
+    }
 
     let total = Instant::now();
     let mut timings: Vec<(String, f64)> = Vec::new();
     for name in &selected {
         let started = Instant::now();
-        let table = generate(name, &opts);
+        let (table, extra) = generate(name, &opts);
         timings.push((name.to_string(), started.elapsed().as_secs_f64()));
         println!("{}", table.to_text());
         if let Some(dir) = &csv_dir {
@@ -87,6 +110,11 @@ fn main() {
             let path = dir.join(format!("{name}.csv"));
             std::fs::write(&path, table.to_csv()).expect("write csv");
             eprintln!("wrote {}", path.display());
+            if let Some((file, contents)) = extra {
+                let path = dir.join(file);
+                std::fs::write(&path, contents).expect("write json");
+                eprintln!("wrote {}", path.display());
+            }
         }
     }
     let total_s = total.elapsed().as_secs_f64();
@@ -95,8 +123,10 @@ fn main() {
     record_bench(effective_jobs, quick, &timings, total_s);
 }
 
-fn generate(name: &str, opts: &RunOptions) -> Table {
-    match name {
+/// Produce a table, plus (for artifacts that have one) a named JSON
+/// sidecar written next to the CSV.
+fn generate(name: &str, opts: &RunOptions) -> (Table, Option<(String, String)>) {
+    let table = match name {
         "fig1" => fig1_remote_ratio::render(&fig1_remote_ratio::run(opts).expect("fig1")),
         "fig3" => fig3_bounds::render(&fig3_bounds::run(opts).expect("fig3")),
         "fig4" => fig4_spec::render(&fig4_spec::run(opts).expect("fig4"), "Fig. 4"),
@@ -105,6 +135,14 @@ fn generate(name: &str, opts: &RunOptions) -> Table {
         "fig7" => fig7_redis::render(&fig7_redis::run(opts).expect("fig7")),
         "table3" => table3_overhead::render(&table3_overhead::run(opts).expect("table3")),
         "fig8" => fig8_period::render(&fig8_period::run(opts).expect("fig8")),
+        "fig-faults" => {
+            let points = fig_faults::run(opts).expect("fig-faults");
+            let json = fig_faults::to_json(&points);
+            return (
+                fig_faults::render(&points),
+                Some(("fig-faults.json".into(), json)),
+            );
+        }
         "ext-pagemig" => experiments::extensions::render_page_migration(
             &experiments::extensions::run_page_migration(opts).expect("ext-pagemig"),
         ),
@@ -112,7 +150,8 @@ fn generate(name: &str, opts: &RunOptions) -> Table {
             &experiments::extensions::run_scaling(opts).expect("ext-scaling"),
         ),
         _ => unreachable!("validated above"),
-    }
+    };
+    (table, None)
 }
 
 /// Merge this run's wall-clock numbers into `BENCH_repro.json`, keyed by
@@ -161,6 +200,16 @@ fn parse_num(v: &str, flag: &str) -> u64 {
         eprintln!("{flag} expects a non-negative integer, got '{v}'");
         std::process::exit(2);
     })
+}
+
+fn parse_rate(v: &str, flag: &str) -> f64 {
+    match v.parse::<f64>() {
+        Ok(r) if (0.0..=1.0).contains(&r) => r,
+        _ => {
+            eprintln!("{flag} expects a probability in [0, 1], got '{v}'");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {

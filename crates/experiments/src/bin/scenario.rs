@@ -4,6 +4,7 @@
 //! scenario path/to/scenario.json
 //! scenario --seed 9 path/to/scenario.json   # override the file's seed
 //! scenario --jobs 1 path/to/scenario.json   # worker-thread count
+//! scenario --fault-rate 0.05 --fault-seed 1 path/to/scenario.json
 //! scenario --print-example
 //! ```
 
@@ -29,6 +30,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = take_value(&mut args, "--jobs").map(|v| parse_num(&v, "--jobs"));
     let seed = take_value(&mut args, "--seed").map(|v| parse_num(&v, "--seed"));
+    let fault_rate = take_value(&mut args, "--fault-rate").map(|v| parse_rate(&v, "--fault-rate"));
+    let fault_seed = take_value(&mut args, "--fault-seed").map(|v| parse_num(&v, "--fault-seed"));
     if let Some(j) = jobs {
         parallel::set_jobs(j as usize);
     }
@@ -46,6 +49,12 @@ fn main() {
             if let Some(s) = seed {
                 scenario.seed = s;
             }
+            if let Some(r) = fault_rate {
+                scenario.fault_rate = r;
+            }
+            if let Some(s) = fault_seed {
+                scenario.fault_seed = s;
+            }
             match scenario.run() {
                 Ok(table) => println!("{}", table.to_text()),
                 Err(e) => {
@@ -55,7 +64,10 @@ fn main() {
             }
         }
         _ => {
-            eprintln!("usage: scenario [--jobs N] [--seed N] <file.json> | --print-example");
+            eprintln!(
+                "usage: scenario [--jobs N] [--seed N] [--fault-rate R] [--fault-seed N] \
+                 <file.json> | --print-example"
+            );
             std::process::exit(2);
         }
     }
@@ -66,6 +78,16 @@ fn parse_num(v: &str, flag: &str) -> u64 {
         eprintln!("{flag} expects a non-negative integer, got '{v}'");
         std::process::exit(2);
     })
+}
+
+fn parse_rate(v: &str, flag: &str) -> f64 {
+    match v.parse::<f64>() {
+        Ok(r) if (0.0..=1.0).contains(&r) => r,
+        _ => {
+            eprintln!("{flag} expects a probability in [0, 1], got '{v}'");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {

@@ -49,7 +49,9 @@ pub fn run_periods(periods_s: &[f64], opts: &RunOptions) -> Result<Vec<Fig8Point
         .find(|&&(p, _)| (p - 1.0).abs() < 1e-9)
         .or_else(|| rates.first())
         .map(|&(_, rate)| rate)
-        .expect("at least one period");
+        .ok_or_else(|| {
+            SimError::InvalidConfig("sampling-period sweep needs at least one period".into())
+        })?;
     Ok(rates
         .into_iter()
         .map(|(p, rate)| Fig8Point {

@@ -14,7 +14,9 @@
 //! | [`fig8_period`] | Fig. 8 — sampling-period sweep on workload *mix* |
 //!
 //! [`extensions`] goes beyond the paper: the §VI future-work features
-//! (page migration) and a node-count scaling study.
+//! (page migration) and a node-count scaling study. [`fig_faults`] is the
+//! robustness sweep — per-scheduler slowdown vs injected fault rate,
+//! including the graceful-degradation variant `vProbe-GD`.
 //!
 //! [`runner`] holds the shared machinery (the paper's §V-A VM setup, the
 //! five schedulers, one-run measurement); [`report`] renders results as
@@ -28,6 +30,7 @@ pub mod fig5_npb;
 pub mod fig6_memcached;
 pub mod fig7_redis;
 pub mod fig8_period;
+pub mod fig_faults;
 pub mod parallel;
 pub mod report;
 pub mod runner;

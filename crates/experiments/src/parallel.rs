@@ -17,7 +17,13 @@
 //! `--jobs`) so that deeply nested experiment code — `run_all_schedulers`,
 //! every `fig*` module, the extensions — picks it up without threading a
 //! parameter through every signature.
+//!
+//! Panics inside jobs are contained: every job runs under `catch_unwind`,
+//! so one bad configuration cannot poison the worker pool or take down a
+//! whole sweep silently. After all jobs finish, the panics are re-raised
+//! as one panic that names each failed job by input index.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -43,6 +49,10 @@ pub fn configured_jobs() -> usize {
 
 /// Map `f` over `items` using the configured number of worker threads,
 /// returning results in input order (bit-identical to the sequential map).
+///
+/// A panicking job does not abort the rest of the sweep: every remaining
+/// job still runs, then the panics are re-raised as a single panic whose
+/// message lists each failed job's input index and payload.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -61,40 +71,88 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    if jobs <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    // Per-slot mutexes rather than one shared queue: claiming is a single
-    // atomic increment, and each slot is locked exactly twice (take input,
-    // store output), so contention is negligible next to a simulation run.
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let f = &f;
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let run_job = |i: usize, item: T| -> Option<R> {
+        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+            Ok(r) => Some(r),
+            Err(payload) => {
+                panics
                     .lock()
-                    .expect("work slot poisoned")
-                    .take()
-                    .expect("work item claimed twice");
-                let result = f(item);
-                *out[i].lock().expect("result slot poisoned") = Some(result);
-            });
+                    .expect("panic list poisoned")
+                    .push((i, panic_message(&*payload)));
+                None
+            }
         }
-    });
-    out.into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker exited without storing a result")
-        })
+    };
+    let results: Vec<Option<R>> = if jobs <= 1 || n <= 1 {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run_job(i, item))
+            .collect()
+    } else {
+        // Per-slot mutexes rather than one shared queue: claiming is a
+        // single atomic increment, and each slot is locked exactly twice
+        // (take input, store output), so contention is negligible next to
+        // a simulation run.
+        let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let out: Vec<Mutex<Option<Option<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let run_job = &run_job;
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("work item claimed twice");
+                    let result = run_job(i, item);
+                    *out[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker exited without storing a result")
+            })
+            .collect()
+    };
+    let mut failed = panics.into_inner().expect("panic list poisoned");
+    if !failed.is_empty() {
+        failed.sort_by_key(|&(i, _)| i);
+        let detail: Vec<String> = failed
+            .iter()
+            .map(|(i, msg)| format!("job {i}: {msg}"))
+            .collect();
+        panic!(
+            "parallel_map: {} job(s) panicked — {}",
+            failed.len(),
+            detail.join("; ")
+        );
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("non-panicking job produced no result"))
         .collect()
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` payloads cover everything `panic!` produces).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Fallible variant: runs every item (in parallel), then returns the first
@@ -144,6 +202,48 @@ mod tests {
     fn configured_jobs_defaults_to_cores() {
         // Whatever the machine, the default is at least one.
         assert!(configured_jobs() >= 1);
+    }
+
+    #[test]
+    fn panicking_job_surfaces_its_input_index() {
+        for jobs in [1, 4] {
+            let err = std::panic::catch_unwind(|| {
+                parallel_map_with_jobs(jobs, (0u32..8).collect(), |x| {
+                    if x == 3 {
+                        panic!("boom on {x}");
+                    }
+                    x
+                })
+            })
+            .expect_err("a panicking job must fail the map");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("aggregate panic carries a String message");
+            assert!(msg.contains("1 job(s) panicked"), "jobs={jobs}: {msg}");
+            assert!(msg.contains("job 3: boom on 3"), "jobs={jobs}: {msg}");
+        }
+    }
+
+    #[test]
+    fn all_panics_reported_in_index_order() {
+        let err = std::panic::catch_unwind(|| {
+            parallel_map_with_jobs(4, (0u32..8).collect(), |x| {
+                if x % 3 == 1 {
+                    panic!("bad {x}");
+                }
+                x
+            })
+        })
+        .expect_err("panics expected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap();
+        assert!(msg.contains("3 job(s) panicked"), "{msg}");
+        let (i1, i4, i7) = (
+            msg.find("job 1:").unwrap(),
+            msg.find("job 4:").unwrap(),
+            msg.find("job 7:").unwrap(),
+        );
+        assert!(i1 < i4 && i4 < i7, "{msg}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use mem_model::AllocPolicy;
 use numa_topo::presets;
-use sim_core::{SimDuration, SimError};
+use sim_core::{FaultConfig, SimDuration, SimError};
 use vprobe::{variants, Bounds, BrmPolicy};
 use workloads::{hungry, WorkloadSpec};
 use xen_sim::{CreditPolicy, Machine, MachineBuilder, RunMetrics, SchedPolicy, VmConfig};
@@ -20,6 +20,10 @@ pub enum Scheduler {
     Lb,
     /// Bias Random vCPU Migration (Rao et al., HPCA 2013).
     Brm,
+    /// vProbe with the graceful-degradation layer (robustness extension;
+    /// not part of the paper's scheduler set, so not in
+    /// [`ALL_SCHEDULERS`]).
+    VProbeGd,
 }
 
 /// All five, in the paper's legend order.
@@ -39,6 +43,7 @@ impl Scheduler {
             Scheduler::VcpuP => "VCPU-P",
             Scheduler::Lb => "LB",
             Scheduler::Brm => "BRM",
+            Scheduler::VProbeGd => "vProbe-GD",
         }
     }
 
@@ -50,6 +55,7 @@ impl Scheduler {
             Scheduler::VcpuP => Box::new(variants::vcpu_p(num_nodes, Bounds::default())),
             Scheduler::Lb => Box::new(variants::lb_only(num_nodes, Bounds::default())),
             Scheduler::Brm => Box::new(BrmPolicy::new(seed)),
+            Scheduler::VProbeGd => Box::new(variants::vprobe_gd(num_nodes, Bounds::default())),
         }
     }
 }
@@ -79,6 +85,8 @@ pub struct RunOptions {
     /// policy under test and opening the measurement window — the
     /// experimental protocol of measuring applications on a live system.
     pub warmup: SimDuration,
+    /// Fault injection (default [`FaultConfig::none`]: clean run).
+    pub faults: FaultConfig,
 }
 
 impl Default for RunOptions {
@@ -89,6 +97,7 @@ impl Default for RunOptions {
             seed: 42,
             shuffle: Some(SimDuration::from_secs(8)),
             warmup: SimDuration::from_secs(10),
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -176,6 +185,7 @@ pub fn build_machine(
         .policy(scheduler.policy(num_nodes, opts.seed))
         .sample_period(opts.sample_period)
         .seed(opts.seed)
+        .faults(opts.faults.clone())
         .add_vm(vm1)
         .add_vm(vm2)
         .add_vm(vm3)

@@ -26,7 +26,7 @@
 use crate::report::{pct, Table};
 use mem_model::AllocPolicy;
 use numa_topo::{presets, NodeId, Topology};
-use sim_core::{Json, SimDuration, SimError};
+use sim_core::{FaultConfig, Json, SimDuration, SimError};
 use vprobe::{variants, Bounds, BrmPolicy};
 use workloads::{kv, registry, WorkloadSpec};
 use xen_sim::{CreditPolicy, Machine, MachineBuilder, SchedPolicy, VmConfig};
@@ -62,10 +62,15 @@ fn default_weight() -> u32 {
 pub struct Scenario {
     /// "xeon_e5620" | "four_socket" | "uma" (default "xeon_e5620")
     pub topology: String,
-    /// "credit" | "vprobe" | "vcpu-p" | "lb" | "brm" (default "vprobe")
+    /// "credit" | "vprobe" | "vcpu-p" | "lb" | "brm" | "vprobe-gd"
+    /// (default "vprobe")
     pub scheduler: String,
     pub duration_s: u64,
     pub seed: u64,
+    /// Uniform fault-injection rate (default 0: clean run).
+    pub fault_rate: f64,
+    /// Seed for the fault schedule (independent of `seed`).
+    pub fault_seed: u64,
     pub vms: Vec<VmSpec>,
 }
 
@@ -103,6 +108,15 @@ fn field_u64(obj: &Json, key: &str, default: Option<u64>) -> Result<u64, SimErro
             .as_u64()
             .ok_or_else(|| parse_err(format!("'{key}' must be a non-negative integer"))),
         None => default.ok_or_else(|| parse_err(format!("missing field '{key}'"))),
+    }
+}
+
+fn field_f64(obj: &Json, key: &str, default: f64) -> Result<f64, SimError> {
+    match obj.get(key) {
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| parse_err(format!("'{key}' must be a number"))),
+        None => Ok(default),
     }
 }
 
@@ -181,23 +195,31 @@ impl Scenario {
             scheduler: field_str(&doc, "scheduler", Some(&default_scheduler()))?,
             duration_s: field_u64(&doc, "duration_s", Some(default_duration()))?,
             seed: field_u64(&doc, "seed", Some(0))?,
+            fault_rate: field_f64(&doc, "fault_rate", 0.0)?,
+            fault_seed: field_u64(&doc, "fault_seed", Some(1))?,
             vms,
         })
     }
 
-    /// Serialize back to JSON (compact, key order stable).
+    /// Serialize back to JSON (compact, key order stable). The fault
+    /// fields appear only when fault injection is on, so clean scenarios
+    /// round-trip byte-identically to their pre-fault form.
     pub fn to_json(&self) -> String {
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("topology".to_string(), Json::from(self.topology.clone())),
             ("scheduler".to_string(), Json::from(self.scheduler.clone())),
             ("duration_s".to_string(), Json::from(self.duration_s)),
             ("seed".to_string(), Json::from(self.seed)),
-            (
-                "vms".to_string(),
-                Json::Arr(self.vms.iter().map(VmSpec::to_value).collect()),
-            ),
-        ])
-        .to_string()
+        ];
+        if self.fault_rate > 0.0 {
+            pairs.push(("fault_rate".to_string(), Json::Num(self.fault_rate)));
+            pairs.push(("fault_seed".to_string(), Json::from(self.fault_seed)));
+        }
+        pairs.push((
+            "vms".to_string(),
+            Json::Arr(self.vms.iter().map(VmSpec::to_value).collect()),
+        ));
+        Json::Obj(pairs).to_string()
     }
 
     pub fn topology(&self) -> Result<Topology, SimError> {
@@ -216,6 +238,7 @@ impl Scenario {
             "vcpu-p" => Box::new(variants::vcpu_p(num_nodes, Bounds::default())),
             "lb" => Box::new(variants::lb_only(num_nodes, Bounds::default())),
             "brm" => Box::new(BrmPolicy::new(self.seed)),
+            "vprobe-gd" => Box::new(variants::vprobe_gd(num_nodes, Bounds::default())),
             other => return Err(SimError::UnknownName(format!("scheduler '{other}'"))),
         })
     }
@@ -229,6 +252,9 @@ impl Scenario {
         let mut b = MachineBuilder::new(topo.clone())
             .policy(self.policy(topo.num_nodes())?)
             .seed(self.seed);
+        if self.fault_rate > 0.0 {
+            b = b.faults(FaultConfig::uniform(self.fault_rate, self.fault_seed));
+        }
         for vm in &self.vms {
             let mut cfg = VmConfig::new(
                 vm.name.clone(),
@@ -386,6 +412,35 @@ mod tests {
         let mut machine = sc.build().unwrap();
         machine.run(SimDuration::from_secs(3));
         assert_eq!(machine.metrics().per_vm[0].remote_accesses, 0);
+    }
+
+    #[test]
+    fn fault_fields_appear_only_when_injection_is_on() {
+        let sc = Scenario::from_json(EXAMPLE).unwrap();
+        assert_eq!(sc.fault_rate, 0.0);
+        assert_eq!(sc.fault_seed, 1);
+        assert!(!sc.to_json().contains("fault_rate"));
+        let mut faulty = sc.clone();
+        faulty.fault_rate = 0.1;
+        faulty.fault_seed = 9;
+        let json = faulty.to_json();
+        assert!(json.contains("fault_rate"));
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back.fault_rate, 0.1);
+        assert_eq!(back.fault_seed, 9);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn faulty_scenario_runs_under_vprobe_gd() {
+        let mut sc = Scenario::from_json(EXAMPLE).unwrap();
+        sc.scheduler = "vprobe-gd".into();
+        sc.fault_rate = 0.2;
+        let table = sc.run().unwrap();
+        assert_eq!(table.num_rows(), 2);
+        // An out-of-range rate is rejected by the machine builder.
+        sc.fault_rate = 1.5;
+        assert!(sc.run().is_err());
     }
 
     #[test]

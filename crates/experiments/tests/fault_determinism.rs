@@ -1,0 +1,87 @@
+//! Fault injection must be a pure function of its inputs: the same
+//! (simulation seed, fault seed, fault rate) triple yields byte-identical
+//! metrics, and a zero rate is indistinguishable — to the byte — from a
+//! run with no fault machinery configured at all. The second property is
+//! what keeps the golden outputs of every pre-fault experiment valid.
+
+use experiments::fig_faults;
+use experiments::runner::{run_workload, RunOptions, Scheduler, SetupKind};
+use sim_core::{FaultConfig, SimDuration};
+use workloads::speccpu;
+
+fn quick_opts() -> RunOptions {
+    RunOptions {
+        duration: SimDuration::from_secs(4),
+        warmup: SimDuration::from_secs(2),
+        ..RunOptions::default()
+    }
+}
+
+fn run(scheduler: Scheduler, opts: &RunOptions) -> experiments::runner::WorkloadRun {
+    run_workload(
+        scheduler,
+        SetupKind::PaperEval,
+        vec![speccpu::soplex(); 4],
+        vec![speccpu::soplex(); 4],
+        opts,
+    )
+    .unwrap()
+}
+
+#[test]
+fn same_seed_and_rate_reproduce_metrics_byte_for_byte() {
+    let mut opts = quick_opts();
+    opts.faults = FaultConfig::uniform(0.1, 3);
+    for scheduler in [Scheduler::VProbe, Scheduler::VProbeGd] {
+        let a = run(scheduler, &opts);
+        let b = run(scheduler, &opts);
+        assert_eq!(
+            a.metrics.to_json(),
+            b.metrics.to_json(),
+            "{scheduler:?} diverged under identical fault inputs"
+        );
+        assert!(
+            a.metrics.faults.injected() > 0,
+            "{scheduler:?}: rate 0.1 must actually inject faults"
+        );
+    }
+}
+
+#[test]
+fn zero_rate_is_byte_identical_to_no_injection() {
+    let clean = run(Scheduler::VProbe, &quick_opts());
+    let mut zeroed = quick_opts();
+    zeroed.faults = FaultConfig::uniform(0.0, 77);
+    let zero = run(Scheduler::VProbe, &zeroed);
+    assert_eq!(clean.metrics.to_json(), zero.metrics.to_json());
+    assert_eq!(clean.instr_rate, zero.instr_rate);
+}
+
+#[test]
+fn different_fault_seed_changes_the_schedule() {
+    let mut a_opts = quick_opts();
+    a_opts.faults = FaultConfig::uniform(0.2, 1);
+    let mut b_opts = quick_opts();
+    b_opts.faults = FaultConfig::uniform(0.2, 2);
+    let a = run(Scheduler::VProbe, &a_opts);
+    let b = run(Scheduler::VProbe, &b_opts);
+    assert_ne!(
+        a.metrics.to_json(),
+        b.metrics.to_json(),
+        "distinct fault seeds must produce distinct runs"
+    );
+}
+
+#[test]
+fn fault_sweep_csv_is_reproducible() {
+    let opts = quick_opts();
+    let schedulers = [Scheduler::Credit, Scheduler::VProbeGd];
+    let rates = [0.0, 0.2];
+    let a = fig_faults::run_grid(&schedulers, &rates, &opts).unwrap();
+    let b = fig_faults::run_grid(&schedulers, &rates, &opts).unwrap();
+    assert_eq!(
+        fig_faults::render(&a).to_csv(),
+        fig_faults::render(&b).to_csv()
+    );
+    assert_eq!(fig_faults::to_json(&a), fig_faults::to_json(&b));
+}

@@ -90,6 +90,11 @@ impl VmMemoryLayout {
             )));
         }
         let n = free.num_nodes();
+        if n == 0 {
+            return Err(SimError::InvalidConfig(
+                "topology has no memory nodes".into(),
+            ));
+        }
         let mut extents: Vec<(NodeId, u64)> = Vec::new();
         let push = |extents: &mut Vec<(NodeId, u64)>, node: NodeId, amount: u64| {
             if amount == 0 {
@@ -110,7 +115,9 @@ impl VmMemoryLayout {
                     let node = (0..n)
                         .map(NodeId::from_index)
                         .max_by_key(|&nd| (free.free_on(nd), std::cmp::Reverse(nd.index())))
-                        .expect("at least one node");
+                        .ok_or_else(|| {
+                            SimError::InvalidConfig("topology has no memory nodes".into())
+                        })?;
                     let take = remaining.min(free.free_on(node));
                     if take == 0 {
                         return Err(SimError::ResourceExhausted(

@@ -30,6 +30,39 @@ pub struct PmuSample {
 }
 
 impl PmuSample {
+    /// An all-zero sample, standing in for a reading lost to counter
+    /// overflow or a missed Perfctr interrupt.
+    pub fn zeroed(num_nodes: usize) -> Self {
+        PmuSample {
+            instructions: 0,
+            llc_refs: 0,
+            llc_misses: 0,
+            local_accesses: 0,
+            remote_accesses: 0,
+            node_accesses: vec![0; num_nodes],
+        }
+    }
+
+    /// Scale the LLC counters by a multiplexing-noise factor, keeping
+    /// misses bounded by references. Instructions are left alone: noise
+    /// from time-multiplexed counters perturbs event counts, not the
+    /// retired-instruction fixed counter.
+    pub fn scale_llc(&mut self, factor: f64) {
+        let scale = |v: u64| (v as f64 * factor).round().max(0.0) as u64;
+        self.llc_refs = scale(self.llc_refs);
+        self.llc_misses = scale(self.llc_misses).min(self.llc_refs);
+    }
+
+    /// Rotate the node-access histogram by `k` slots, modelling a stale or
+    /// corrupted affinity reading: totals are preserved but Eq. (1) now
+    /// points at the wrong node.
+    pub fn rotate_node_accesses(&mut self, k: usize) {
+        if self.node_accesses.len() > 1 {
+            let k = k % self.node_accesses.len();
+            self.node_accesses.rotate_right(k);
+        }
+    }
+
     /// LLC references per thousand instructions — the paper's Eq. (2) with
     /// α = 1000. Returns 0 for an idle window.
     pub fn llc_access_pressure(&self, alpha: f64) -> f64 {
@@ -204,6 +237,50 @@ mod tests {
         let mut p = VcpuPmu::new(2);
         p.record(100, 10, 10, 5, 5, &[5, 5]);
         assert_eq!(p.peek_window().memory_node_affinity(), Some(0));
+    }
+
+    #[test]
+    fn zeroed_sample_is_idle() {
+        let s = PmuSample::zeroed(3);
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.node_accesses, vec![0, 0, 0]);
+        assert_eq!(s.memory_node_affinity(), None);
+        assert_eq!(s.llc_access_pressure(1_000.0), 0.0);
+    }
+
+    #[test]
+    fn scale_llc_keeps_misses_bounded() {
+        let mut s = recorded().peek_window();
+        s.scale_llc(0.5);
+        assert_eq!(s.llc_refs, 10_000);
+        assert_eq!(s.llc_misses, 5_000);
+        assert_eq!(s.instructions, 1_000_000);
+
+        let mut s = PmuSample {
+            llc_refs: 10,
+            llc_misses: 10,
+            ..PmuSample::zeroed(2)
+        };
+        // Rounding up misses must never exceed refs.
+        s.llc_misses = 9;
+        s.scale_llc(1.04);
+        assert!(s.llc_misses <= s.llc_refs);
+    }
+
+    #[test]
+    fn rotate_node_accesses_moves_affinity() {
+        let mut s = recorded().peek_window();
+        assert_eq!(s.memory_node_affinity(), Some(1));
+        s.rotate_node_accesses(1);
+        assert_eq!(s.node_accesses, vec![8_000, 2_000]);
+        assert_eq!(s.memory_node_affinity(), Some(0));
+        // Single-node histograms are unchanged.
+        let mut one = PmuSample {
+            node_accesses: vec![7],
+            ..PmuSample::zeroed(1)
+        };
+        one.rotate_node_accesses(5);
+        assert_eq!(one.node_accesses, vec![7]);
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub enum SimError {
     UnknownName(String),
     /// Requested resources exceed what the machine provides.
     ResourceExhausted(String),
+    /// A fault-injection configuration was rejected.
+    FaultConfig(String),
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +29,7 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SimError::UnknownName(name) => write!(f, "unknown name: {name}"),
             SimError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
+            SimError::FaultConfig(msg) => write!(f, "invalid fault configuration: {msg}"),
         }
     }
 }
@@ -43,6 +46,11 @@ mod tests {
         assert_eq!(e.to_string(), "invalid topology: zero nodes");
         let e = SimError::UnknownName("soplexx".into());
         assert!(e.to_string().contains("soplexx"));
+        let e = SimError::FaultConfig("rate out of range".into());
+        assert_eq!(
+            e.to_string(),
+            "invalid fault configuration: rate out of range"
+        );
     }
 
     #[test]

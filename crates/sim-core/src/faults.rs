@@ -1,0 +1,430 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! Real PMU pipelines lose samples, multiplex counters, and report stale
+//! affinity data; real hypervisors occasionally fail or delay VCPU
+//! migrations and suffer transient core stalls. [`FaultConfig`] describes
+//! per-class fault rates and [`FaultInjector`] turns them into a
+//! reproducible fault schedule: every fault class draws from its own
+//! [`SimRng`](crate::SimRng) stream forked from the fault seed, so
+//!
+//! * the same `(fault seed, rates)` pair always yields the same schedule,
+//! * enabling one fault class never perturbs the draws of another, and
+//! * the machine's own RNG streams are untouched — a zero-rate injector
+//!   makes no draws at all, keeping the fault-free path bit-identical to
+//!   a build without fault injection.
+
+use crate::error::SimError;
+use crate::rng::SimRng;
+
+/// Per-class fault rates and bounds. All rates are probabilities in
+/// `[0, 1]`; a rate of zero disables the class entirely (no RNG draws).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the fault schedule, independent of the machine seed.
+    pub seed: u64,
+    /// Probability that a VCPU's PMU sample for a period is lost outright.
+    pub sample_loss: f64,
+    /// Std-dev of the multiplicative counter-multiplexing noise applied to
+    /// surviving samples (0 disables).
+    pub multiplex_noise_sd: f64,
+    /// Probability that a sample's node-access histogram is rotated,
+    /// corrupting the node-affinity reading (Eq. 1).
+    pub affinity_corruption: f64,
+    /// Probability that a requested VCPU migration fails outright.
+    pub migration_fail: f64,
+    /// Probability that a requested VCPU migration is delayed (drawn only
+    /// if the migration did not fail).
+    pub migration_delay: f64,
+    /// Upper bound (inclusive) on the delay, in scheduling quanta.
+    pub migration_delay_quanta_max: u32,
+    /// Per-PCPU per-quantum probability of a transient stall.
+    pub pcpu_stall: f64,
+    /// Upper bound (inclusive) on a stall's length, in quanta.
+    pub pcpu_stall_quanta_max: u32,
+    /// Per-node per-period probability of memory throttling.
+    pub node_throttle: f64,
+    /// Runtime share granted to VCPUs on a throttled node (in `(0, 1]`).
+    pub node_throttle_factor: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+impl FaultConfig {
+    /// No faults: every rate zero. The injector built from this config
+    /// never draws from its RNG streams.
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 1,
+            sample_loss: 0.0,
+            multiplex_noise_sd: 0.0,
+            affinity_corruption: 0.0,
+            migration_fail: 0.0,
+            migration_delay: 0.0,
+            migration_delay_quanta_max: 500,
+            pcpu_stall: 0.0,
+            pcpu_stall_quanta_max: 50,
+            node_throttle: 0.0,
+            node_throttle_factor: 0.5,
+        }
+    }
+
+    /// A single-knob profile used by the robustness sweep: `rate` scales
+    /// every fault class. Sample loss, multiplexing noise, and migration
+    /// faults track the rate directly; affinity corruption and node
+    /// throttling are halved (they are period-scale events); PCPU stalls
+    /// are scaled down to a per-quantum probability so a 5% fault rate
+    /// does not stall every core permanently.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            sample_loss: rate,
+            multiplex_noise_sd: rate,
+            affinity_corruption: rate / 2.0,
+            migration_fail: rate,
+            migration_delay: rate,
+            pcpu_stall: rate * 1e-3,
+            node_throttle: rate / 2.0,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// True when any fault class can fire.
+    pub fn enabled(&self) -> bool {
+        self.sample_loss > 0.0
+            || self.multiplex_noise_sd > 0.0
+            || self.affinity_corruption > 0.0
+            || self.migration_fail > 0.0
+            || self.migration_delay > 0.0
+            || self.pcpu_stall > 0.0
+            || self.node_throttle > 0.0
+    }
+
+    /// Validate rates and bounds, returning [`SimError::FaultConfig`] with
+    /// the offending field named.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let rate_fields = [
+            ("sample_loss", self.sample_loss),
+            ("affinity_corruption", self.affinity_corruption),
+            ("migration_fail", self.migration_fail),
+            ("migration_delay", self.migration_delay),
+            ("pcpu_stall", self.pcpu_stall),
+            ("node_throttle", self.node_throttle),
+        ];
+        for (name, rate) in rate_fields {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(SimError::FaultConfig(format!(
+                    "{name} must be a probability in [0, 1], got {rate}"
+                )));
+            }
+        }
+        if !self.multiplex_noise_sd.is_finite() || self.multiplex_noise_sd < 0.0 {
+            return Err(SimError::FaultConfig(format!(
+                "multiplex_noise_sd must be finite and non-negative, got {}",
+                self.multiplex_noise_sd
+            )));
+        }
+        if !self.node_throttle_factor.is_finite()
+            || self.node_throttle_factor <= 0.0
+            || self.node_throttle_factor > 1.0
+        {
+            return Err(SimError::FaultConfig(format!(
+                "node_throttle_factor must be in (0, 1], got {}",
+                self.node_throttle_factor
+            )));
+        }
+        if self.migration_delay > 0.0 && self.migration_delay_quanta_max == 0 {
+            return Err(SimError::FaultConfig(
+                "migration_delay_quanta_max must be >= 1 when delays are enabled".into(),
+            ));
+        }
+        if self.pcpu_stall > 0.0 && self.pcpu_stall_quanta_max == 0 {
+            return Err(SimError::FaultConfig(
+                "pcpu_stall_quanta_max must be >= 1 when stalls are enabled".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a migration fault draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationFault {
+    /// The migration proceeds normally.
+    None,
+    /// The migration fails; the requester may retry.
+    Failed,
+    /// The migration lands after the given number of quanta.
+    Delayed(u32),
+}
+
+/// Draws a deterministic fault schedule from a [`FaultConfig`].
+///
+/// Each fault class owns a forked RNG stream, and every decision method
+/// skips its draw when the class is disabled, so adding faults to one
+/// class never shifts another class's schedule.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    sample_rng: SimRng,
+    noise_rng: SimRng,
+    affinity_rng: SimRng,
+    migration_rng: SimRng,
+    stall_rng: SimRng,
+    throttle_rng: SimRng,
+}
+
+impl FaultInjector {
+    /// Build an injector, validating the config first.
+    pub fn new(cfg: FaultConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let mut root = SimRng::seed_from(cfg.seed);
+        Ok(FaultInjector {
+            sample_rng: root.fork(1),
+            noise_rng: root.fork(2),
+            affinity_rng: root.fork(3),
+            migration_rng: root.fork(4),
+            stall_rng: root.fork(5),
+            throttle_rng: root.fork(6),
+            cfg,
+        })
+    }
+
+    /// The validated configuration this injector draws from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// True when any fault class can fire.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    /// Is this VCPU's sample for the current period lost?
+    pub fn sample_lost(&mut self) -> bool {
+        self.cfg.sample_loss > 0.0 && self.sample_rng.chance(self.cfg.sample_loss)
+    }
+
+    /// Multiplicative multiplexing-noise factor for a surviving sample, or
+    /// `None` when noise is disabled.
+    pub fn multiplex_factor(&mut self) -> Option<f64> {
+        if self.cfg.multiplex_noise_sd > 0.0 {
+            Some(
+                self.noise_rng
+                    .normal_clamped(1.0, self.cfg.multiplex_noise_sd, 0.05, 4.0),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Is this sample's node-affinity reading corrupted?
+    pub fn affinity_corrupted(&mut self) -> bool {
+        self.cfg.affinity_corruption > 0.0 && self.affinity_rng.chance(self.cfg.affinity_corruption)
+    }
+
+    /// Rotation offset for a corrupted node-access histogram of `num_nodes`
+    /// entries: always a nonzero shift so corruption is observable.
+    pub fn affinity_rotation(&mut self, num_nodes: usize) -> usize {
+        if num_nodes <= 1 {
+            0
+        } else {
+            self.affinity_rng.range(1..num_nodes)
+        }
+    }
+
+    /// Draw the fate of a requested VCPU migration.
+    pub fn migration_fault(&mut self) -> MigrationFault {
+        if self.cfg.migration_fail > 0.0 && self.migration_rng.chance(self.cfg.migration_fail) {
+            return MigrationFault::Failed;
+        }
+        if self.cfg.migration_delay > 0.0 && self.migration_rng.chance(self.cfg.migration_delay) {
+            let quanta = self
+                .migration_rng
+                .range(1..self.cfg.migration_delay_quanta_max + 1);
+            return MigrationFault::Delayed(quanta);
+        }
+        MigrationFault::None
+    }
+
+    /// Does this steal attempt fail? Shares the migration-fail rate: a
+    /// steal is a migration on the work-stealing path.
+    pub fn steal_failed(&mut self) -> bool {
+        self.cfg.migration_fail > 0.0 && self.migration_rng.chance(self.cfg.migration_fail)
+    }
+
+    /// Does this PCPU stall this quantum, and for how many quanta?
+    pub fn pcpu_stall(&mut self) -> Option<u32> {
+        if self.cfg.pcpu_stall > 0.0 && self.stall_rng.chance(self.cfg.pcpu_stall) {
+            Some(self.stall_rng.range(1..self.cfg.pcpu_stall_quanta_max + 1))
+        } else {
+            None
+        }
+    }
+
+    /// Is this node throttled for the coming period?
+    pub fn node_throttled(&mut self) -> bool {
+        self.cfg.node_throttle > 0.0 && self.throttle_rng.chance(self.cfg.node_throttle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(inj: &mut FaultInjector, n: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(inj.sample_lost() as u64);
+            out.push(inj.multiplex_factor().map_or(0, f64::to_bits));
+            out.push(inj.affinity_corrupted() as u64);
+            out.push(match inj.migration_fault() {
+                MigrationFault::None => 0,
+                MigrationFault::Failed => 1,
+                MigrationFault::Delayed(q) => 2 + u64::from(q),
+            });
+            out.push(inj.steal_failed() as u64);
+            out.push(inj.pcpu_stall().map_or(0, u64::from));
+            out.push(inj.node_throttled() as u64);
+        }
+        out
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultConfig::uniform(0.2, 99);
+        let mut a = FaultInjector::new(cfg.clone()).unwrap();
+        let mut b = FaultInjector::new(cfg).unwrap();
+        assert_eq!(drain(&mut a, 200), drain(&mut b, 200));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultInjector::new(FaultConfig::uniform(0.2, 1)).unwrap();
+        let mut b = FaultInjector::new(FaultConfig::uniform(0.2, 2)).unwrap();
+        assert_ne!(drain(&mut a, 200), drain(&mut b, 200));
+    }
+
+    #[test]
+    fn zero_rate_classes_never_fire_and_never_draw() {
+        let mut inj = FaultInjector::new(FaultConfig::none()).unwrap();
+        assert!(!inj.enabled());
+        for _ in 0..100 {
+            assert!(!inj.sample_lost());
+            assert_eq!(inj.multiplex_factor(), None);
+            assert!(!inj.affinity_corrupted());
+            assert_eq!(inj.migration_fault(), MigrationFault::None);
+            assert!(!inj.steal_failed());
+            assert_eq!(inj.pcpu_stall(), None);
+            assert!(!inj.node_throttled());
+        }
+    }
+
+    #[test]
+    fn classes_are_independent_streams() {
+        // Enabling sample loss must not change the migration schedule.
+        let base = FaultConfig {
+            migration_fail: 0.3,
+            ..FaultConfig::none()
+        };
+        let with_loss = FaultConfig {
+            sample_loss: 0.5,
+            ..base.clone()
+        };
+        let mut a = FaultInjector::new(base).unwrap();
+        let mut b = FaultInjector::new(with_loss).unwrap();
+        let fate_a: Vec<_> = (0..200).map(|_| a.migration_fault()).collect();
+        let fate_b: Vec<_> = (0..200)
+            .map(|_| {
+                let _ = b.sample_lost();
+                b.migration_fault()
+            })
+            .collect();
+        assert_eq!(fate_a, fate_b);
+    }
+
+    #[test]
+    fn uniform_profile_fires_all_classes() {
+        let mut inj = FaultInjector::new(FaultConfig::uniform(0.5, 7)).unwrap();
+        assert!(inj.enabled());
+        let mut lost = 0;
+        let mut failed = 0;
+        let mut delayed = 0;
+        let mut noisy = 0;
+        for _ in 0..500 {
+            lost += inj.sample_lost() as u32;
+            noisy += inj.multiplex_factor().is_some() as u32;
+            match inj.migration_fault() {
+                MigrationFault::Failed => failed += 1,
+                MigrationFault::Delayed(q) => {
+                    assert!((1..=500).contains(&q));
+                    delayed += 1;
+                }
+                MigrationFault::None => {}
+            }
+        }
+        assert!(lost > 0, "sample loss never fired");
+        assert!(failed > 0, "migration fail never fired");
+        assert!(delayed > 0, "migration delay never fired");
+        assert_eq!(noisy, 500, "noise applies to every surviving sample");
+    }
+
+    #[test]
+    fn affinity_rotation_is_nonzero_shift() {
+        let mut inj = FaultInjector::new(FaultConfig::uniform(0.5, 3)).unwrap();
+        assert_eq!(inj.affinity_rotation(1), 0);
+        for _ in 0..100 {
+            let k = inj.affinity_rotation(4);
+            assert!((1..4).contains(&k));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        let bad = FaultConfig {
+            sample_loss: 1.5,
+            ..FaultConfig::none()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(err, SimError::FaultConfig(_)));
+        assert!(err.to_string().contains("sample_loss"));
+
+        let bad = FaultConfig {
+            multiplex_noise_sd: f64::NAN,
+            ..FaultConfig::none()
+        };
+        assert!(bad.validate().is_err());
+
+        let bad = FaultConfig {
+            node_throttle_factor: 0.0,
+            ..FaultConfig::none()
+        };
+        assert!(bad.validate().is_err());
+
+        let bad = FaultConfig {
+            migration_delay: 0.1,
+            migration_delay_quanta_max: 0,
+            ..FaultConfig::none()
+        };
+        assert!(bad.validate().is_err());
+
+        let bad = FaultConfig {
+            pcpu_stall: 0.1,
+            pcpu_stall_quanta_max: 0,
+            ..FaultConfig::none()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn uniform_profile_is_valid_across_rates() {
+        for rate in [0.0, 0.01, 0.05, 0.1, 0.5, 1.0] {
+            FaultConfig::uniform(rate, 1).validate().unwrap();
+        }
+        assert!(!FaultConfig::uniform(0.0, 1).enabled());
+        assert!(FaultConfig::uniform(0.01, 1).enabled());
+    }
+}

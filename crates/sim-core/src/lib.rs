@@ -14,6 +14,7 @@
 
 pub mod clock;
 pub mod error;
+pub mod faults;
 pub mod json;
 pub mod rng;
 pub mod series;
@@ -21,6 +22,7 @@ pub mod stats;
 
 pub use clock::{Clock, SimDuration, SimTime};
 pub use error::SimError;
+pub use faults::{FaultConfig, FaultInjector, MigrationFault};
 pub use json::Json;
 pub use rng::SimRng;
 pub use series::TimeSeries;

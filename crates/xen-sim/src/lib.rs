@@ -30,8 +30,12 @@ pub mod vm;
 
 pub use credit::CreditPolicy;
 pub use machine::{Machine, MachineBuilder, MachineConfig};
-pub use metrics::{RunMetrics, VmMetrics};
-pub use policy::{AnalyzerView, PageMigration, PartitionPlan, SchedPolicy, StealContext, VcpuAssignment, VcpuView};
+pub use metrics::{FaultMetrics, RunMetrics, VmMetrics};
+pub use policy::{
+    AnalyzerView, DegradeReport, PageMigration, PartitionPlan, PeriodFeedback, SchedPolicy,
+    StealContext, VcpuAssignment, VcpuView,
+};
+pub use sim_core::{FaultConfig, FaultInjector};
 pub use trace::{Event, TraceLog};
 pub use vcpu::{Priority, VcpuState};
 pub use vm::{GuestThread, VmConfig, VmRuntime};

@@ -18,13 +18,15 @@
 
 use crate::metrics::RunMetrics;
 use crate::pcpu::PcpuState;
-use crate::policy::{AnalyzerView, SchedPolicy, StealContext, VcpuView};
+use crate::policy::{AnalyzerView, PeriodFeedback, SchedPolicy, StealContext, VcpuView};
 use crate::vcpu::{Priority, VcpuKind, VcpuState};
 use crate::vm::{VmConfig, VmRuntime};
 use mem_model::{MemoryEngine, NodeFree, QuantumUsage};
 use numa_topo::{NodeId, PcpuId, Topology, VcpuId, VmId};
 use pmu::{OverheadModel, OverheadTracker, PeriodSampler, PmuSample};
-use sim_core::{Clock, SimDuration, SimError, SimRng, SimTime};
+use sim_core::{
+    Clock, FaultConfig, FaultInjector, MigrationFault, SimDuration, SimError, SimRng, SimTime,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -69,6 +71,10 @@ pub struct MachineConfig {
     pub overhead: OverheadModel,
     /// Root seed for all randomness.
     pub seed: u64,
+    /// Fault-injection configuration (default: no faults). Drawn from its
+    /// own seeded streams, so the all-zero default leaves the simulation
+    /// bit-identical to a build without fault injection.
+    pub faults: FaultConfig,
 }
 
 impl Default for MachineConfig {
@@ -89,6 +95,7 @@ impl Default for MachineConfig {
             migration_extra_us: 6.0,
             overhead: OverheadModel::default(),
             seed: 42,
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -127,6 +134,12 @@ impl MachineBuilder {
         self
     }
 
+    /// Enable fault injection (validated at [`MachineBuilder::build`]).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
     pub fn policy(mut self, policy: Box<dyn SchedPolicy>) -> Self {
         self.policy = Some(policy);
         self
@@ -149,6 +162,22 @@ impl MachineBuilder {
         if self.cfg.quantum.is_zero() {
             return Err(SimError::InvalidConfig("zero quantum".into()));
         }
+        if self.cfg.sample_period.is_zero() {
+            return Err(SimError::InvalidConfig("zero sampling period".into()));
+        }
+        if self.topo.num_nodes() == 0 {
+            return Err(SimError::InvalidConfig("topology has no nodes".into()));
+        }
+        // Wake placement and node-targeted enqueue both rely on every
+        // node owning at least one PCPU.
+        for n in 0..self.topo.num_nodes() {
+            if self.topo.pcpus_of_node(NodeId::from_index(n)).is_empty() {
+                return Err(SimError::InvalidConfig(format!(
+                    "node {n} has no PCPUs"
+                )));
+            }
+        }
+        self.cfg.faults.validate()?;
         Machine::create(self.topo, self.cfg, policy, &self.vm_configs)
     }
 }
@@ -183,6 +212,20 @@ pub struct Machine {
     idler_profile: mem_model::AccessProfile,
     /// Reusable per-quantum intensity-noise buffer (one factor per VCPU).
     noise_scratch: Vec<f64>,
+    /// Fault schedule source (draws nothing when faults are disabled).
+    injector: FaultInjector,
+    /// Cached `cfg.faults.enabled()`: gates every per-quantum fault hook so
+    /// the fault-free hot path stays branch-cheap and draw-free.
+    faults_enabled: bool,
+    /// Per-VCPU validity of the latest period's samples (1 clean, 0 lost),
+    /// reported to the policy through [`PeriodFeedback`].
+    sample_validity: Vec<f64>,
+    /// Migrations that failed this period, reported at the next feedback.
+    failed_migrations: Vec<(VcpuId, NodeId)>,
+    /// Injected-delay migrations waiting for their due time.
+    delayed_moves: Vec<(SimTime, VcpuId, NodeId)>,
+    /// Per-node throttle flags for the current sampling period.
+    node_throttled: Vec<bool>,
 }
 
 impl Machine {
@@ -229,7 +272,12 @@ impl Machine {
                             .iter()
                             .filter(|p| vcpu.allowed_on(topo.node_of_pcpu(p.id)))
                             .min_by_key(|p| (p.workload(), p.id.index()))
-                            .expect("pin must name a node with PCPUs")
+                            .ok_or_else(|| {
+                                SimError::InvalidConfig(format!(
+                                    "VM '{}' pins to a node with no PCPUs",
+                                    vm_cfg.name
+                                ))
+                            })?
                             .id;
                         vcpu.queued_on = Some(target);
                         pcpus[target.index()].queue.push(vid);
@@ -270,6 +318,12 @@ impl Machine {
             idler_wakes,
             idler_profile: mem_model::AccessProfile::cpu_only(1.0, num_nodes),
             noise_scratch: Vec::with_capacity(num_vcpus),
+            injector: FaultInjector::new(cfg.faults.clone())?,
+            faults_enabled: cfg.faults.enabled(),
+            sample_validity: vec![1.0; num_vcpus],
+            failed_migrations: Vec::new(),
+            delayed_moves: Vec::new(),
+            node_throttled: vec![false; num_nodes],
             engine: MemoryEngine::new(&topo),
             sampler: PeriodSampler::new(num_vcpus, num_nodes, cfg.sample_period),
             overhead: OverheadTracker::new(cfg.overhead),
@@ -376,6 +430,10 @@ impl Machine {
         self.clock.step();
         let now = self.clock.now();
 
+        if self.faults_enabled {
+            self.fault_tick(now);
+        }
+
         // Credit ticks (staggered per PCPU, as Xen offsets per-CPU timers
         // to avoid thundering herd) and per-VCPU staggered accounting.
         self.credit_ticks(now);
@@ -397,6 +455,37 @@ impl Machine {
 
         if let Some(samples) = self.sampler.maybe_sample(now) {
             self.handle_sample(now, samples);
+        }
+    }
+
+    /// Per-quantum fault bookkeeping (only called with faults enabled):
+    /// advance transient PCPU stalls, draw new ones, and land injected-delay
+    /// migrations whose due time has arrived.
+    fn fault_tick(&mut self, now: SimTime) {
+        for p in 0..self.pcpus.len() {
+            if self.pcpus[p].stall_left > 0 {
+                self.pcpus[p].stall_left -= 1;
+                self.metrics.faults.stalled_quanta += 1;
+            } else if let Some(quanta) = self.injector.pcpu_stall() {
+                self.pcpus[p].stall_left = quanta;
+                self.metrics.faults.pcpu_stalls += 1;
+            }
+        }
+        if !self.delayed_moves.is_empty() {
+            let mut i = 0;
+            while i < self.delayed_moves.len() {
+                if self.delayed_moves[i].0 > now {
+                    i += 1;
+                    continue;
+                }
+                let (_, vcpu, node) = self.delayed_moves.remove(i);
+                // The VCPU may have blocked or been pinned since the
+                // request; a late migration of either would be wrong.
+                let v = &self.vcpus[vcpu.index()];
+                if !v.blocked && !v.admin_pinned {
+                    self.apply_partition_move(vcpu, node, now);
+                }
+            }
         }
     }
 
@@ -473,6 +562,11 @@ impl Machine {
         let per_quantum =
             (100 * self.cfg.quantum.as_micros() / self.cfg.credit_tick.as_micros()).max(1) as i32;
         for p in 0..self.pcpus.len() {
+            // A stalled PCPU executed nothing this quantum, so its pinned
+            // VCPU owes nothing.
+            if self.pcpus[p].stall_left > 0 {
+                continue;
+            }
             if let Some(v) = self.pcpus[p].current {
                 self.vcpus[v.index()].adjust_credits(-per_quantum);
             }
@@ -591,6 +685,11 @@ impl Machine {
     }
 
     fn schedule_pcpu(&mut self, pid: PcpuId) {
+        // A transiently stalled PCPU (injected fault) makes no scheduling
+        // decisions: whatever it holds stays pinned until the stall ends.
+        if self.pcpus[pid.index()].stall_left > 0 {
+            return;
+        }
         let node = self.pcpus[pid.index()].node;
         // Decide whether the current VCPU keeps the PCPU.
         if let Some(cur) = self.pcpus[pid.index()].current {
@@ -651,28 +750,15 @@ impl Machine {
             };
             let would_idle = head.is_none();
             if let Some((victim, vcpu)) = self.try_steal(pid, min_prio, would_idle) {
-                let removed = self.pcpus[victim.index()].queue.remove(vcpu);
-                debug_assert!(removed, "stolen vcpu must be queued on victim");
-                self.vcpus[vcpu.index()].queued_on = None;
-                self.metrics.steals += 1;
-                self.metrics.steals_per_vm[self.vcpus[vcpu.index()].vm.index()] += 1;
-                if head.is_none() {
-                    self.metrics.idle_steals += 1;
+                // Injected fault: the balance operation loses the race for
+                // the victim's queue lock and gives up (Xen retries at the
+                // next balance trigger, and so do we).
+                if self.faults_enabled && self.injector.steal_failed() {
+                    self.metrics.faults.steals_failed += 1;
+                } else {
+                    self.perform_steal(pid, victim, vcpu, head.is_none());
+                    return;
                 }
-                if self.trace.is_enabled() {
-                    let cross = self.pcpus[victim.index()].node != self.pcpus[pid.index()].node;
-                    self.trace.record(
-                        self.clock.now(),
-                        crate::trace::Event::Steal {
-                            thief: pid,
-                            victim,
-                            vcpu,
-                            cross_node: cross,
-                        },
-                    );
-                }
-                self.switch_in(pid, vcpu);
-                return;
             }
         }
         let popped = {
@@ -685,6 +771,30 @@ impl Machine {
             self.vcpus[vcpu.index()].queued_on = None;
             self.switch_in(pid, vcpu);
         }
+    }
+
+    fn perform_steal(&mut self, pid: PcpuId, victim: PcpuId, vcpu: VcpuId, was_idle: bool) {
+        let removed = self.pcpus[victim.index()].queue.remove(vcpu);
+        debug_assert!(removed, "stolen vcpu must be queued on victim");
+        self.vcpus[vcpu.index()].queued_on = None;
+        self.metrics.steals += 1;
+        self.metrics.steals_per_vm[self.vcpus[vcpu.index()].vm.index()] += 1;
+        if was_idle {
+            self.metrics.idle_steals += 1;
+        }
+        if self.trace.is_enabled() {
+            let cross = self.pcpus[victim.index()].node != self.pcpus[pid.index()].node;
+            self.trace.record(
+                self.clock.now(),
+                crate::trace::Event::Steal {
+                    thief: pid,
+                    victim,
+                    vcpu,
+                    cross_node: cross,
+                },
+            );
+        }
+        self.switch_in(pid, vcpu);
     }
 
     fn try_steal(
@@ -799,6 +909,10 @@ impl Machine {
         let noise = &self.noise_scratch;
         let mut usages: Vec<QuantumUsage> = Vec::with_capacity(self.pcpus.len());
         for p in &mut self.pcpus {
+            // A stalled PCPU makes no forward progress this quantum.
+            if p.stall_left > 0 {
+                continue;
+            }
             let Some(vid) = p.current else { continue };
             self.vcpus[vid.index()].run_quanta += 1;
             let v = &self.vcpus[vid.index()];
@@ -819,7 +933,13 @@ impl Machine {
             usages.push(QuantumUsage {
                 key: vid.raw() as u64,
                 node: p.node,
-                runtime_share: 1.0,
+                // An injected node-throttle period slows every VCPU on the
+                // node (all-false without faults, leaving the share at 1).
+                runtime_share: if self.node_throttled[p.node.index()] {
+                    self.cfg.faults.node_throttle_factor
+                } else {
+                    1.0
+                },
                 profile,
                 rpti_scale,
                 cold_miss_boost: if v.cold_quanta > 0 {
@@ -906,6 +1026,12 @@ impl Machine {
                 s.llc_refs = (s.llc_refs as f64 * f).round() as u64;
             }
         }
+        // Injected PMU faults corrupt what the analyzer (and the series
+        // below) sees; ground-truth per-VM metrics accumulate in
+        // `execute_quantum` from engine results and are untouched.
+        if self.faults_enabled {
+            self.inject_sample_faults(&mut samples);
+        }
         // Refresh the machine-cached per-VCPU pressures (Eq. 2).
         for (v, s) in samples.iter().enumerate() {
             self.pressure[v] = s.llc_access_pressure(1_000.0);
@@ -943,11 +1069,25 @@ impl Machine {
                 assigned_node: v.assigned_node,
             })
             .collect();
+        // Deliver period-health signals before the analysis pass. With
+        // faults disabled this reports all-valid samples and no failures,
+        // and the default implementation ignores it.
+        let failed_last_period = std::mem::take(&mut self.failed_migrations);
+        self.policy.on_period_feedback(&PeriodFeedback {
+            sample_validity: &self.sample_validity,
+            failed_migrations: &failed_last_period,
+        });
         let plan = self.policy.on_sample(AnalyzerView {
             topo: &self.topo,
             samples: &samples,
             vcpus: &views,
         });
+        // Degradation bookkeeping (all-default for the paper's policies).
+        let report = plan.report;
+        self.metrics.faults.periods_skipped += u64::from(report.period_skipped);
+        self.metrics.faults.fallback_periods += u64::from(report.fallback_active);
+        self.metrics.faults.fallbacks_triggered += u64::from(report.fallback_entered);
+        self.metrics.faults.migration_retries += u64::from(report.migration_retries);
 
         for a in plan.assignments {
             let idx = a.vcpu.index();
@@ -961,51 +1101,105 @@ impl Machine {
             // balance not dragging heavy VCPUs back across nodes.
             self.vcpus[idx].assigned_node = if plan.hard { a.node } else { None };
             let Some(target) = a.node else { continue };
-            // Algorithm 1 calls migrate(vc, MIN-NODE) for every
-            // memory-intensive VCPU: a VCPU already running on the right
-            // node is left alone, but a queued one is re-placed on the
-            // node's least-loaded PCPU (losing its queue position) — this
-            // per-pass disruption is what makes very short sampling
-            // periods expensive (Fig. 8's left arm).
-            let on_target_pcpu = |p: Option<numa_topo::PcpuId>| {
-                p.is_some_and(|pid| self.topo.node_of_pcpu(pid) == target)
-            };
-            if on_target_pcpu(self.vcpus[idx].running_on) {
+            // A VCPU already running on the right node is left alone; the
+            // fault draw below therefore only covers real migrations.
+            if self.vcpu_on_node(self.vcpus[idx].running_on, target) {
                 continue;
             }
-            let was_cross = !on_target_pcpu(self.vcpus[idx].queued_on)
-                || self.vcpus[idx].running_on.is_some();
-            if let Some(pid) = self.vcpus[idx].running_on {
-                self.pcpus[pid.index()].current = None;
-                self.vcpus[idx].running_on = None;
-            } else if let Some(pid) = self.vcpus[idx].queued_on {
-                self.pcpus[pid.index()].queue.remove(a.vcpu);
-                self.vcpus[idx].queued_on = None;
-            }
-            self.enqueue_on_node(a.vcpu, target);
-            if was_cross {
-                self.metrics.partition_moves += 1;
-                if self.trace.is_enabled() {
-                    self.trace.record(
-                        now,
-                        crate::trace::Event::PartitionMove {
-                            vcpu: a.vcpu,
-                            node: target,
-                        },
-                    );
+            if self.faults_enabled {
+                match self.injector.migration_fault() {
+                    MigrationFault::Failed => {
+                        self.metrics.faults.migrations_failed += 1;
+                        self.failed_migrations.push((a.vcpu, target));
+                        continue;
+                    }
+                    MigrationFault::Delayed(quanta) => {
+                        self.metrics.faults.migrations_delayed += 1;
+                        let due = now + self.cfg.quantum * u64::from(quanta);
+                        self.delayed_moves.push((due, a.vcpu, target));
+                        continue;
+                    }
+                    MigrationFault::None => {}
                 }
             }
-            if self.policy.uses_pmu() {
-                let cost = self.overhead.charge_migration();
-                self.pcpus[0].pending_overhead_us += cost;
-            }
+            self.apply_partition_move(a.vcpu, target, now);
         }
 
+        self.apply_page_migrations(now, plan.page_migrations);
+    }
+
+    fn vcpu_on_node(&self, pcpu: Option<PcpuId>, node: NodeId) -> bool {
+        pcpu.is_some_and(|pid| self.topo.node_of_pcpu(pid) == node)
+    }
+
+    /// Migrate one VCPU to `target` per Algorithm 1: a VCPU already
+    /// running there is left alone, but a queued one is re-placed on the
+    /// node (losing its queue position) — this per-pass disruption is what
+    /// makes very short sampling periods expensive (Fig. 8's left arm).
+    /// Shared by the sampling-period pass and the injected-delay path.
+    fn apply_partition_move(&mut self, vcpu: VcpuId, target: NodeId, now: SimTime) {
+        let idx = vcpu.index();
+        if self.vcpu_on_node(self.vcpus[idx].running_on, target) {
+            return;
+        }
+        let was_cross = !self.vcpu_on_node(self.vcpus[idx].queued_on, target)
+            || self.vcpus[idx].running_on.is_some();
+        if let Some(pid) = self.vcpus[idx].running_on {
+            self.pcpus[pid.index()].current = None;
+            self.vcpus[idx].running_on = None;
+        } else if let Some(pid) = self.vcpus[idx].queued_on {
+            self.pcpus[pid.index()].queue.remove(vcpu);
+            self.vcpus[idx].queued_on = None;
+        }
+        self.enqueue_on_node(vcpu, target);
+        if was_cross {
+            self.metrics.partition_moves += 1;
+            if self.trace.is_enabled() {
+                self.trace
+                    .record(now, crate::trace::Event::PartitionMove { vcpu, node: target });
+            }
+        }
+        if self.policy.uses_pmu() {
+            let cost = self.overhead.charge_migration();
+            self.pcpus[0].pending_overhead_us += cost;
+        }
+    }
+
+    /// Corrupt the period's samples per the fault schedule (only called
+    /// with faults enabled) and draw the coming period's node throttles.
+    fn inject_sample_faults(&mut self, samples: &mut [PmuSample]) {
+        let num_nodes = self.topo.num_nodes();
+        for (i, s) in samples.iter_mut().enumerate() {
+            if self.injector.sample_lost() {
+                *s = PmuSample::zeroed(num_nodes);
+                self.sample_validity[i] = 0.0;
+                self.metrics.faults.samples_lost += 1;
+                continue;
+            }
+            self.sample_validity[i] = 1.0;
+            if let Some(f) = self.injector.multiplex_factor() {
+                s.scale_llc(f);
+                self.metrics.faults.counters_noised += 1;
+            }
+            if self.injector.affinity_corrupted() {
+                let k = self.injector.affinity_rotation(num_nodes);
+                s.rotate_node_accesses(k);
+                self.metrics.faults.affinity_corruptions += 1;
+            }
+        }
+        for n in 0..num_nodes {
+            let throttled = self.injector.node_throttled();
+            self.node_throttled[n] = throttled;
+            self.metrics.faults.node_throttled_periods += u64::from(throttled);
+        }
+    }
+
+    fn apply_page_migrations(&mut self, now: SimTime, page_migrations: Vec<crate::policy::PageMigration>) {
         // §VI extension: page migrations requested by the policy. The copy
         // engine moves ~2 bytes/ns; its time is charged as overhead on the
         // PCPU where the migrated VCPU would run (the VM stalls on the
         // moving pages).
-        for pm in plan.page_migrations {
+        for pm in page_migrations {
             let v = &self.vcpus[pm.vcpu.index()];
             if v.kind != VcpuKind::Worker {
                 continue;
@@ -1502,6 +1696,7 @@ mod vprobe_test_policy {
                 assignments,
                 hard: false,
                 page_migrations,
+                ..PartitionPlan::default()
             }
         }
         fn steal(&mut self, _ctx: StealContext<'_>) -> Option<(PcpuId, VcpuId)> {
@@ -1660,5 +1855,120 @@ mod edge_case_tests {
         m.set_policy(Box::new(crate::credit::CreditPolicy::new()));
         m.run(SimDuration::from_secs(1));
         m.check_invariants().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::tests_helpers::basic_machine_pub;
+    use super::*;
+    use crate::credit::CreditPolicy;
+    use mem_model::AllocPolicy;
+    use numa_topo::presets;
+    use workloads::npb;
+
+    const GB: u64 = 1024 * 1024 * 1024;
+
+    fn faulty_machine(rate: f64, fault_seed: u64) -> Machine {
+        MachineBuilder::new(presets::xeon_e5620())
+            .policy(super::vprobe_test_policy::pm_policy(false))
+            .faults(FaultConfig::uniform(rate, fault_seed))
+            .add_vm(VmConfig::new("vm1", 8, 8 * GB, AllocPolicy::MostFree, vec![npb::lu()]))
+            .add_vm(VmConfig::new("vm2", 8, 5 * GB, AllocPolicy::MostFree, vec![npb::lu()]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_invalid_fault_config() {
+        let err = MachineBuilder::new(presets::xeon_e5620())
+            .policy(Box::new(CreditPolicy::new()))
+            .faults(FaultConfig {
+                sample_loss: 2.0,
+                ..FaultConfig::none()
+            })
+            .add_vm(VmConfig::new("vm1", 8, GB, AllocPolicy::MostFree, vec![npb::lu()]))
+            .build();
+        let Err(err) = err else {
+            panic!("expected an invalid-fault-config error")
+        };
+        assert!(matches!(err, SimError::FaultConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_sample_period() {
+        let err = MachineBuilder::new(presets::xeon_e5620())
+            .policy(Box::new(CreditPolicy::new()))
+            .sample_period(SimDuration::ZERO)
+            .add_vm(VmConfig::new("vm1", 8, GB, AllocPolicy::MostFree, vec![npb::lu()]))
+            .build();
+        let Err(err) = err else {
+            panic!("expected a zero-sample-period error")
+        };
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_fault_rate_leaves_metrics_clean() {
+        let mut m = basic_machine_pub();
+        m.run(SimDuration::from_secs(2));
+        assert_eq!(m.metrics().faults, crate::metrics::FaultMetrics::default());
+        assert!(!m.metrics().to_json().contains("\"faults\""));
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic_per_seed() {
+        let run = |fault_seed: u64| {
+            let mut m = faulty_machine(0.2, fault_seed);
+            m.run(SimDuration::from_secs(4));
+            m.check_invariants().unwrap();
+            m.metrics().to_json()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "fault seed must matter");
+    }
+
+    #[test]
+    fn uniform_faults_fire_and_are_counted() {
+        let mut m = faulty_machine(0.3, 5);
+        m.run(SimDuration::from_secs(6));
+        m.check_invariants().unwrap();
+        let f = m.metrics().faults;
+        assert!(f.samples_lost > 0, "{f:?}");
+        assert!(f.counters_noised > 0, "{f:?}");
+        assert!(f.migrations_failed + f.migrations_delayed > 0, "{f:?}");
+        assert!(f.injected() > 0);
+        let json = m.metrics().to_json();
+        assert!(json.contains("\"faults\""));
+        let back = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(back.faults, f);
+    }
+
+    #[test]
+    fn pcpu_stalls_cost_forward_progress() {
+        let heavy_stalls = FaultConfig {
+            pcpu_stall: 0.02,
+            ..FaultConfig::none()
+        };
+        let run = |faults: FaultConfig| {
+            let mut m = MachineBuilder::new(presets::xeon_e5620())
+                .policy(Box::new(CreditPolicy::new()))
+                .faults(faults)
+                .add_vm(VmConfig::new("vm1", 8, GB, AllocPolicy::MostFree, vec![npb::lu()]))
+                .build()
+                .unwrap();
+            m.run(SimDuration::from_secs(3));
+            m.check_invariants().unwrap();
+            (m.metrics().per_vm[0].instructions, m.metrics().faults)
+        };
+        let (clean_instr, clean_faults) = run(FaultConfig::none());
+        let (stalled_instr, stall_faults) = run(heavy_stalls);
+        assert_eq!(clean_faults.pcpu_stalls, 0);
+        assert!(stall_faults.pcpu_stalls > 0);
+        assert!(stall_faults.stalled_quanta >= stall_faults.pcpu_stalls);
+        assert!(
+            stalled_instr < clean_instr,
+            "stalls must cost throughput: {stalled_instr} vs {clean_instr}"
+        );
     }
 }

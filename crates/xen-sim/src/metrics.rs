@@ -69,6 +69,114 @@ impl VmMetrics {
     }
 }
 
+/// Fault-injection and graceful-degradation counters for one run. All
+/// zero (the `Default`) when fault injection is disabled, in which case
+/// the block is omitted from the JSON serialization so fault-free output
+/// stays byte-identical to pre-fault-model builds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultMetrics {
+    /// PMU samples zeroed by injected sample loss.
+    pub samples_lost: u64,
+    /// Samples perturbed by counter-multiplexing noise.
+    pub counters_noised: u64,
+    /// Samples whose node-affinity histogram was corrupted.
+    pub affinity_corruptions: u64,
+    /// Partitioning migrations that failed outright.
+    pub migrations_failed: u64,
+    /// Partitioning migrations applied late.
+    pub migrations_delayed: u64,
+    /// Steal operations that failed after the policy chose a victim.
+    pub steals_failed: u64,
+    /// Transient PCPU stalls injected.
+    pub pcpu_stalls: u64,
+    /// Total quanta lost to PCPU stalls.
+    pub stalled_quanta: u64,
+    /// Node-period combinations that ran throttled.
+    pub node_throttled_periods: u64,
+    /// Periods the policy skipped for low sample validity.
+    pub periods_skipped: u64,
+    /// Periods spent in plain-Credit fallback mode.
+    pub fallback_periods: u64,
+    /// Transitions into fallback mode.
+    pub fallbacks_triggered: u64,
+    /// Failed migrations re-requested after backoff.
+    pub migration_retries: u64,
+}
+
+impl FaultMetrics {
+    /// Total faults injected into the run (degradation reactions not
+    /// included).
+    pub fn injected(&self) -> u64 {
+        self.samples_lost
+            + self.counters_noised
+            + self.affinity_corruptions
+            + self.migrations_failed
+            + self.migrations_delayed
+            + self.steals_failed
+            + self.pcpu_stalls
+            + self.node_throttled_periods
+    }
+
+    fn to_value(self) -> Json {
+        Json::Obj(vec![
+            ("samples_lost".into(), Json::from(self.samples_lost)),
+            ("counters_noised".into(), Json::from(self.counters_noised)),
+            (
+                "affinity_corruptions".into(),
+                Json::from(self.affinity_corruptions),
+            ),
+            (
+                "migrations_failed".into(),
+                Json::from(self.migrations_failed),
+            ),
+            (
+                "migrations_delayed".into(),
+                Json::from(self.migrations_delayed),
+            ),
+            ("steals_failed".into(), Json::from(self.steals_failed)),
+            ("pcpu_stalls".into(), Json::from(self.pcpu_stalls)),
+            ("stalled_quanta".into(), Json::from(self.stalled_quanta)),
+            (
+                "node_throttled_periods".into(),
+                Json::from(self.node_throttled_periods),
+            ),
+            ("periods_skipped".into(), Json::from(self.periods_skipped)),
+            ("fallback_periods".into(), Json::from(self.fallback_periods)),
+            (
+                "fallbacks_triggered".into(),
+                Json::from(self.fallbacks_triggered),
+            ),
+            (
+                "migration_retries".into(),
+                Json::from(self.migration_retries),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Json) -> Result<FaultMetrics, String> {
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing/invalid fault metric '{key}'"))
+        };
+        Ok(FaultMetrics {
+            samples_lost: u("samples_lost")?,
+            counters_noised: u("counters_noised")?,
+            affinity_corruptions: u("affinity_corruptions")?,
+            migrations_failed: u("migrations_failed")?,
+            migrations_delayed: u("migrations_delayed")?,
+            steals_failed: u("steals_failed")?,
+            pcpu_stalls: u("pcpu_stalls")?,
+            stalled_quanta: u("stalled_quanta")?,
+            node_throttled_periods: u("node_throttled_periods")?,
+            periods_skipped: u("periods_skipped")?,
+            fallback_periods: u("fallback_periods")?,
+            fallbacks_triggered: u("fallbacks_triggered")?,
+            migration_retries: u("migration_retries")?,
+        })
+    }
+}
+
 /// Whole-run measurement.
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
@@ -106,6 +214,8 @@ pub struct RunMetrics {
     pub remote_ratio_series: Vec<TimeSeries>,
     /// Per-VM instruction throughput (instructions/s) per sampling period.
     pub throughput_series: Vec<TimeSeries>,
+    /// Fault-injection and degradation counters; all zero without faults.
+    pub faults: FaultMetrics,
 }
 
 impl RunMetrics {
@@ -168,7 +278,7 @@ impl RunMetrics {
                     .collect(),
             )
         };
-        Json::Obj(vec![
+        let mut doc = Json::Obj(vec![
             ("elapsed_us".into(), Json::from(self.elapsed.as_micros())),
             (
                 "per_vm".into(),
@@ -204,8 +314,16 @@ impl RunMetrics {
                 series(&self.remote_ratio_series),
             ),
             ("throughput_series".into(), series(&self.throughput_series)),
-        ])
-        .to_string()
+        ]);
+        // Emit the fault block only when something fired, so fault-free
+        // runs serialize byte-identically to builds without fault support.
+        let Json::Obj(fields) = &mut doc else {
+            unreachable!("doc is an object")
+        };
+        if self.faults != FaultMetrics::default() {
+            fields.push(("faults".into(), self.faults.to_value()));
+        }
+        doc.to_string()
     }
 
     /// Parse the [`RunMetrics::to_json`] format.
@@ -275,6 +393,10 @@ impl RunMetrics {
             busy_us: f("busy_us")?,
             remote_ratio_series: series("remote_ratio_series")?,
             throughput_series: series("throughput_series")?,
+            faults: match doc.get("faults") {
+                Some(v) => FaultMetrics::from_value(v)?,
+                None => FaultMetrics::default(),
+            },
         })
     }
 }
@@ -303,6 +425,31 @@ mod tests {
         let m = VmMetrics::default();
         assert_eq!(m.remote_ratio(), 0.0);
         assert_eq!(m.instr_per_second(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn fault_block_omitted_when_clean() {
+        let r = RunMetrics::new(1);
+        let json = r.to_json();
+        assert!(!json.contains("faults"));
+        let back = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(back.faults, FaultMetrics::default());
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn fault_block_round_trips_when_present() {
+        let mut r = RunMetrics::new(1);
+        r.faults.samples_lost = 3;
+        r.faults.migrations_failed = 2;
+        r.faults.fallbacks_triggered = 1;
+        r.faults.migration_retries = 4;
+        let json = r.to_json();
+        assert!(json.contains("\"faults\""));
+        let back = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(back.faults, r.faults);
+        assert_eq!(back.to_json(), json);
+        assert_eq!(r.faults.injected(), 5);
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub struct PcpuState {
     /// Monitoring/scheduling time to charge against whatever runs next on
     /// this PCPU, in microseconds.
     pub pending_overhead_us: f64,
+    /// Remaining quanta of an injected transient stall; 0 = running
+    /// normally. A stalled PCPU schedules and executes nothing.
+    pub stall_left: u32,
 }
 
 impl PcpuState {
@@ -24,6 +27,7 @@ impl PcpuState {
             queue: RunQueue::new(),
             current: None,
             pending_overhead_us: 0.0,
+            stall_left: 0,
         }
     }
 

@@ -73,6 +73,34 @@ pub struct PageMigration {
     pub max_bytes: u64,
 }
 
+/// Health signals for the period just ended, delivered to the policy
+/// before [`SchedPolicy::on_sample`] so degradation-aware policies can
+/// gate their decisions on input quality.
+#[derive(Debug, Clone)]
+pub struct PeriodFeedback<'a> {
+    /// Per-VCPU sample validity in `[0, 1]`, indexed by VCPU id: 1 for a
+    /// clean sample, 0 for a lost one. (Intermediate values are reserved
+    /// for partially multiplexed windows.)
+    pub sample_validity: &'a [f64],
+    /// Migrations requested last period that the machine failed to apply.
+    pub failed_migrations: &'a [(VcpuId, NodeId)],
+}
+
+/// What a degradation-aware policy did this period, reported back through
+/// [`PartitionPlan::report`] so the machine can record it in `RunMetrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradeReport {
+    /// The policy skipped partitioning because sample validity fell below
+    /// its confidence threshold.
+    pub period_skipped: bool,
+    /// The policy is running in plain-Credit fallback mode this period.
+    pub fallback_active: bool,
+    /// The policy entered fallback mode this period.
+    pub fallback_entered: bool,
+    /// Failed migrations re-requested this period after backoff.
+    pub migration_retries: u32,
+}
+
 /// The outcome of a policy's sampling-period pass.
 #[derive(Debug, Clone, Default)]
 pub struct PartitionPlan {
@@ -84,6 +112,9 @@ pub struct PartitionPlan {
     /// Page-migration requests (§VI extension); empty for the paper's
     /// schedulers.
     pub page_migrations: Vec<PageMigration>,
+    /// Degradation bookkeeping for this period (all-default for policies
+    /// without degradation handling).
+    pub report: DegradeReport,
 }
 
 impl PartitionPlan {
@@ -105,6 +136,11 @@ pub trait SchedPolicy {
     /// Choose a VCPU to steal for `ctx.idle_pcpu`, or `None` to let the
     /// PCPU run what it has (or idle).
     fn steal(&mut self, ctx: StealContext<'_>) -> Option<(PcpuId, VcpuId)>;
+
+    /// Health signals for the period just ended, delivered immediately
+    /// before [`SchedPolicy::on_sample`]. The default ignores them — the
+    /// paper's schedulers trust their inputs unconditionally.
+    fn on_period_feedback(&mut self, _fb: &PeriodFeedback<'_>) {}
 
     /// Whether the policy consumes PMU data (controls whether sampling
     /// overhead is charged — the stock Credit scheduler reads no counters).

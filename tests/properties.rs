@@ -4,12 +4,37 @@
 use mem_model::AllocPolicy;
 use numa_topo::{presets, NodeConfig, TopologyBuilder};
 use proptest::prelude::*;
-use sim_core::SimDuration;
+use sim_core::{FaultConfig, SimDuration};
 use vprobe::{variants, Bounds};
 use workloads::{npb, speccpu, WorkloadSpec};
-use xen_sim::{CreditPolicy, MachineBuilder, VmConfig};
+use xen_sim::{CreditPolicy, Machine, MachineBuilder, VmConfig};
 
 const GB: u64 = 1024 * 1024 * 1024;
+
+/// The machine used by the fault-determinism properties: vProbe-GD so
+/// every degradation path (skips, fallback, retries) is exercised.
+fn faulty_machine(faults: FaultConfig, seed: u64) -> Machine {
+    MachineBuilder::new(presets::xeon_e5620())
+        .policy(Box::new(variants::vprobe_gd(2, Bounds::default())))
+        .seed(seed)
+        .faults(faults)
+        .add_vm(VmConfig::new(
+            "a",
+            8,
+            6 * GB,
+            AllocPolicy::SplitEven,
+            vec![speccpu::soplex(); 4],
+        ))
+        .add_vm(VmConfig::new(
+            "b",
+            4,
+            2 * GB,
+            AllocPolicy::MostFree,
+            vec![speccpu::milc(); 2],
+        ))
+        .build()
+        .unwrap()
+}
 
 fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
     prop_oneof![
@@ -91,6 +116,37 @@ proptest! {
         machine.run(SimDuration::from_secs(secs));
         let busy: u64 = machine.metrics().per_vm.iter().map(|v| v.busy_us).sum();
         prop_assert!(busy <= pcpus * secs * 1_000_000);
+    }
+
+    /// Fault injection is a pure function of (simulation seed, fault
+    /// seed, fault rate): two identically configured machines produce
+    /// byte-identical RunMetrics, fault counters included.
+    #[test]
+    fn fault_injection_is_deterministic(
+        rate in 0.0f64..0.5,
+        fault_seed in 1u64..100,
+        seed in 0u64..1000,
+    ) {
+        let faults = FaultConfig::uniform(rate, fault_seed);
+        let mut a = faulty_machine(faults.clone(), seed);
+        let mut b = faulty_machine(faults, seed);
+        a.run(SimDuration::from_secs(3));
+        b.run(SimDuration::from_secs(3));
+        prop_assert_eq!(a.metrics().to_json(), b.metrics().to_json());
+    }
+
+    /// Rate zero must be byte-identical to no fault machinery at all —
+    /// whatever the fault seed — so clean golden outputs stay valid.
+    #[test]
+    fn zero_fault_rate_is_invisible(
+        fault_seed in 1u64..100,
+        seed in 0u64..1000,
+    ) {
+        let mut zeroed = faulty_machine(FaultConfig::uniform(0.0, fault_seed), seed);
+        let mut clean = faulty_machine(FaultConfig::none(), seed);
+        zeroed.run(SimDuration::from_secs(3));
+        clean.run(SimDuration::from_secs(3));
+        prop_assert_eq!(zeroed.metrics().to_json(), clean.metrics().to_json());
     }
 
     /// NUMA-degenerate control: on a single-node (UMA) machine the
