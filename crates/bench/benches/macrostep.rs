@@ -1,0 +1,149 @@
+//! Event-horizon macro-stepping versus the reference per-quantum stepper.
+//!
+//! Two machine shapes bracket the optimization: a *quiescent* machine
+//! (noise-free, saturated, single-phase — the macro-stepper's best case,
+//! where whole credit-accounting windows collapse into one engine solve)
+//! and the repro sweep's *noisy* machine (default intensity noise pins the
+//! horizon to one quantum, so both steppers should cost the same). Each is
+//! benchmarked with the flag on and off; outputs are byte-identical either
+//! way, so the delta is pure execution-strategy overhead or win.
+
+use criterion::{criterion_group, Criterion};
+use mem_model::AllocPolicy;
+use numa_topo::presets;
+use sim_core::{Json, SimDuration};
+use workloads::{hungry, npb};
+use xen_sim::{CreditPolicy, Machine, MachineBuilder, MachineConfig, VmConfig};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+fn quiescent_machine(macro_step: bool) -> Machine {
+    let cfg = MachineConfig {
+        intensity_noise_sd: 0.0,
+        macro_step,
+        ..MachineConfig::default()
+    };
+    MachineBuilder::new(presets::xeon_e5620())
+        .config(cfg)
+        .policy(Box::new(CreditPolicy::new()))
+        .add_vm(VmConfig::new(
+            "vm",
+            8,
+            8 * GB,
+            AllocPolicy::MostFree,
+            vec![hungry::hungry_loop(); 8],
+        ))
+        .build()
+        .unwrap()
+}
+
+fn noisy_machine(macro_step: bool) -> Machine {
+    let cfg = MachineConfig {
+        macro_step,
+        ..MachineConfig::default()
+    };
+    MachineBuilder::new(presets::xeon_e5620())
+        .config(cfg)
+        .policy(Box::new(CreditPolicy::new()))
+        .add_vm(VmConfig::new("vm1", 8, 8 * GB, AllocPolicy::MostFree, vec![npb::lu()]))
+        .add_vm(VmConfig::new("vm2", 8, 5 * GB, AllocPolicy::MostFree, vec![npb::lu()]))
+        .add_vm(VmConfig::new(
+            "vm3",
+            8,
+            GB,
+            AllocPolicy::MostFree,
+            vec![hungry::hungry_loop(); 8],
+        ))
+        .build()
+        .unwrap()
+}
+
+fn bench_pair(c: &mut Criterion, label: &str, build: fn(bool) -> Machine) {
+    for (mode, macro_step) in [("macro", true), ("per_quantum", false)] {
+        c.bench_function(&format!("macrostep/{label}/{mode}"), |b| {
+            b.iter(|| {
+                let mut m = build(macro_step);
+                m.run(SimDuration::from_secs(10));
+                m.metrics().per_vm[0].instructions
+            })
+        });
+    }
+}
+
+fn quiescent(c: &mut Criterion) {
+    bench_pair(c, "quiescent_10s", quiescent_machine);
+}
+
+fn noisy(c: &mut Criterion) {
+    bench_pair(c, "noisy_10s", noisy_machine);
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10))
+        .warm_up_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = macrostep;
+    config = config();
+    targets = quiescent, noisy
+}
+
+/// Median-of-3 wall clock of a 10 s simulated run.
+fn timed_s(build: fn(bool) -> Machine, macro_step: bool) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let mut m = build(macro_step);
+            let t = std::time::Instant::now();
+            m.run(SimDuration::from_secs(10));
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
+/// Merge the quiescent macro-vs-reference wall clocks into the repo-root
+/// `BENCH_repro.json`, alongside the repro binary's sweep timings.
+fn record_bench() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repro.json");
+    let macro_s = timed_s(quiescent_machine, true);
+    let per_quantum_s = timed_s(quiescent_machine, false);
+    let round3 = |s: f64| (s * 1000.0).round() / 1000.0;
+    let entry = Json::Obj(vec![
+        ("macro_wall_ms".into(), Json::Num(round3(macro_s * 1000.0))),
+        (
+            "per_quantum_wall_ms".into(),
+            Json::Num(round3(per_quantum_s * 1000.0)),
+        ),
+        (
+            "speedup".into(),
+            Json::Num(round3(per_quantum_s / macro_s.max(f64::MIN_POSITIVE))),
+        ),
+    ]);
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .and_then(|j| match j {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let key = "macrostep_quiescent_10s".to_string();
+    match doc.iter_mut().find(|(k, _)| *k == key) {
+        Some(slot) => slot.1 = entry,
+        None => doc.push((key, entry)),
+    }
+    if let Err(e) = std::fs::write(path, Json::Obj(doc).to_string_pretty()) {
+        eprintln!("warning: cannot write {path}: {e}");
+    } else {
+        eprintln!("recorded macro-step wall clocks in {path}");
+    }
+}
+
+fn main() {
+    macrostep();
+    record_bench();
+}

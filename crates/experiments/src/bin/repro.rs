@@ -9,6 +9,7 @@
 //! repro --seed 7 all   # override the simulation seed
 //! repro --fault-rate 0.05 --fault-seed 1 all   # run under fault injection
 //! repro fig-faults     # the robustness sweep (rates swept internally)
+//! repro --no-macro-step all   # reference per-quantum stepper (bisection)
 //! ```
 //!
 //! Every invocation also records per-artifact and total wall-clock time in
@@ -50,10 +51,11 @@ fn main() {
     let seed = take_value(&mut args, "--seed").map(|v| parse_num(&v, "--seed"));
     let fault_rate = take_value(&mut args, "--fault-rate").map(|v| parse_rate(&v, "--fault-rate"));
     let fault_seed = take_value(&mut args, "--fault-seed").map(|v| parse_num(&v, "--fault-seed"));
+    let no_macro = take_flag(&mut args, "--no-macro-step");
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: repro [--quick] [--csv DIR] [--jobs N] [--seed N] \
-             [--fault-rate R] [--fault-seed N] all | {}",
+             [--fault-rate R] [--fault-seed N] [--no-macro-step] all | {}",
             ARTIFACTS.join(" | ")
         );
         std::process::exit(2);
@@ -89,6 +91,7 @@ fn main() {
     if let Some(s) = seed {
         opts.seed = s;
     }
+    opts.macro_step = !no_macro;
     if fault_rate.is_some() || fault_seed.is_some() {
         let cfg = FaultConfig::uniform(fault_rate.unwrap_or(0.0), fault_seed.unwrap_or(1));
         if let Err(e) = cfg.validate() {
@@ -120,7 +123,7 @@ fn main() {
     let total_s = total.elapsed().as_secs_f64();
     let effective_jobs = parallel::configured_jobs();
     eprintln!("total wall time: {total_s:.2} s ({effective_jobs} jobs)");
-    record_bench(effective_jobs, quick, &timings, total_s);
+    record_bench(effective_jobs, quick, !no_macro, &timings, total_s);
 }
 
 /// Produce a table, plus (for artifacts that have one) a named JSON
@@ -155,9 +158,9 @@ fn generate(name: &str, opts: &RunOptions) -> (Table, Option<(String, String)>) 
 }
 
 /// Merge this run's wall-clock numbers into `BENCH_repro.json`, keyed by
-/// job count, so sequential and parallel timings of the same selection
-/// sit side by side.
-fn record_bench(jobs: usize, quick: bool, timings: &[(String, f64)], total_s: f64) {
+/// job count and stepping mode, so sequential/parallel and
+/// macro/per-quantum timings of the same selection sit side by side.
+fn record_bench(jobs: usize, quick: bool, macro_step: bool, timings: &[(String, f64)], total_s: f64) {
     let mut doc = std::fs::read_to_string(BENCH_FILE)
         .ok()
         .and_then(|t| Json::parse(&t).ok())
@@ -175,10 +178,15 @@ fn record_bench(jobs: usize, quick: bool, timings: &[(String, f64)], total_s: f6
     let entry = Json::Obj(vec![
         ("jobs".into(), Json::from(jobs)),
         ("quick".into(), Json::from(quick)),
+        ("macro_step".into(), Json::from(macro_step)),
         ("total_wall_s".into(), Json::Num(round3(total_s))),
         ("artifact_wall_s".into(), artifacts),
     ]);
-    let key = format!("jobs_{jobs}");
+    let key = if macro_step {
+        format!("jobs_{jobs}")
+    } else {
+        format!("jobs_{jobs}_nomacro")
+    };
     match doc.iter_mut().find(|(k, _)| *k == key) {
         Some(slot) => slot.1 = entry,
         None => doc.push((key, entry)),

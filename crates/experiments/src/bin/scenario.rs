@@ -5,6 +5,7 @@
 //! scenario --seed 9 path/to/scenario.json   # override the file's seed
 //! scenario --jobs 1 path/to/scenario.json   # worker-thread count
 //! scenario --fault-rate 0.05 --fault-seed 1 path/to/scenario.json
+//! scenario --no-macro-step path/to/scenario.json   # reference stepper
 //! scenario --print-example
 //! ```
 
@@ -32,6 +33,7 @@ fn main() {
     let seed = take_value(&mut args, "--seed").map(|v| parse_num(&v, "--seed"));
     let fault_rate = take_value(&mut args, "--fault-rate").map(|v| parse_rate(&v, "--fault-rate"));
     let fault_seed = take_value(&mut args, "--fault-seed").map(|v| parse_num(&v, "--fault-seed"));
+    let no_macro = take_flag(&mut args, "--no-macro-step");
     if let Some(j) = jobs {
         parallel::set_jobs(j as usize);
     }
@@ -55,6 +57,9 @@ fn main() {
             if let Some(s) = fault_seed {
                 scenario.fault_seed = s;
             }
+            if no_macro {
+                scenario.macro_step = false;
+            }
             match scenario.run() {
                 Ok(table) => println!("{}", table.to_text()),
                 Err(e) => {
@@ -66,7 +71,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: scenario [--jobs N] [--seed N] [--fault-rate R] [--fault-seed N] \
-                 <file.json> | --print-example"
+                 [--no-macro-step] <file.json> | --print-example"
             );
             std::process::exit(2);
         }
@@ -87,6 +92,15 @@ fn parse_rate(v: &str, flag: &str) -> f64 {
             eprintln!("{flag} expects a probability in [0, 1], got '{v}'");
             std::process::exit(2);
         }
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
     }
 }
 

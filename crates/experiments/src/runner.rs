@@ -87,6 +87,10 @@ pub struct RunOptions {
     pub warmup: SimDuration,
     /// Fault injection (default [`FaultConfig::none`]: clean run).
     pub faults: FaultConfig,
+    /// Event-horizon macro-stepping (default on; byte-identical outputs
+    /// either way). `--no-macro-step` on the binaries clears it so
+    /// regressions can be bisected against the reference stepper.
+    pub macro_step: bool,
 }
 
 impl Default for RunOptions {
@@ -98,6 +102,7 @@ impl Default for RunOptions {
             shuffle: Some(SimDuration::from_secs(8)),
             warmup: SimDuration::from_secs(10),
             faults: FaultConfig::none(),
+            macro_step: true,
         }
     }
 }
@@ -186,6 +191,7 @@ pub fn build_machine(
         .sample_period(opts.sample_period)
         .seed(opts.seed)
         .faults(opts.faults.clone())
+        .macro_step(opts.macro_step)
         .add_vm(vm1)
         .add_vm(vm2)
         .add_vm(vm3)

@@ -71,6 +71,9 @@ pub struct Scenario {
     pub fault_rate: f64,
     /// Seed for the fault schedule (independent of `seed`).
     pub fault_seed: u64,
+    /// Event-horizon macro-stepping (default on; results are identical
+    /// either way, per-quantum stepping is just slower).
+    pub macro_step: bool,
     pub vms: Vec<VmSpec>,
 }
 
@@ -116,6 +119,15 @@ fn field_f64(obj: &Json, key: &str, default: f64) -> Result<f64, SimError> {
         Some(v) => v
             .as_f64()
             .ok_or_else(|| parse_err(format!("'{key}' must be a number"))),
+        None => Ok(default),
+    }
+}
+
+fn field_bool(obj: &Json, key: &str, default: bool) -> Result<bool, SimError> {
+    match obj.get(key) {
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| parse_err(format!("'{key}' must be a boolean"))),
         None => Ok(default),
     }
 }
@@ -197,6 +209,7 @@ impl Scenario {
             seed: field_u64(&doc, "seed", Some(0))?,
             fault_rate: field_f64(&doc, "fault_rate", 0.0)?,
             fault_seed: field_u64(&doc, "fault_seed", Some(1))?,
+            macro_step: field_bool(&doc, "macro_step", true)?,
             vms,
         })
     }
@@ -214,6 +227,9 @@ impl Scenario {
         if self.fault_rate > 0.0 {
             pairs.push(("fault_rate".to_string(), Json::Num(self.fault_rate)));
             pairs.push(("fault_seed".to_string(), Json::from(self.fault_seed)));
+        }
+        if !self.macro_step {
+            pairs.push(("macro_step".to_string(), Json::from(false)));
         }
         pairs.push((
             "vms".to_string(),
@@ -251,7 +267,8 @@ impl Scenario {
         let topo = self.topology()?;
         let mut b = MachineBuilder::new(topo.clone())
             .policy(self.policy(topo.num_nodes())?)
-            .seed(self.seed);
+            .seed(self.seed)
+            .macro_step(self.macro_step);
         if self.fault_rate > 0.0 {
             b = b.faults(FaultConfig::uniform(self.fault_rate, self.fault_seed));
         }
@@ -441,6 +458,20 @@ mod tests {
         // An out-of-range rate is rejected by the machine builder.
         sc.fault_rate = 1.5;
         assert!(sc.run().is_err());
+    }
+
+    #[test]
+    fn macro_step_field_round_trips_and_defaults_on() {
+        let sc = Scenario::from_json(EXAMPLE).unwrap();
+        assert!(sc.macro_step);
+        assert!(!sc.to_json().contains("macro_step"));
+        let mut slow = sc.clone();
+        slow.macro_step = false;
+        let json = slow.to_json();
+        assert!(json.contains("\"macro_step\":false"));
+        let back = Scenario::from_json(&json).unwrap();
+        assert!(!back.macro_step);
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::curve::MissCurve;
 use crate::imc::ImcModel;
 use crate::latency::LatencyParams;
-use crate::llc::{LlcDemand, LlcModel};
+use crate::llc::{LlcDemand, LlcModel, LlcOccupancy, LlcScratch};
 use crate::qpi::QpiModel;
 use numa_topo::{NodeId, Topology};
 use sim_core::SimDuration;
@@ -161,6 +161,46 @@ struct StepScratch {
     node_demand_bytes: Vec<f64>,
     pair_traffic_bytes: Vec<f64>,
     node_accesses: Vec<u64>,
+    /// Per-usage values that do not change across fixed-point rounds,
+    /// hoisted out of the round loop (identical expressions, so identical
+    /// bits — pinned by the golden machine test).
+    inv: Vec<UsageInv>,
+    /// Flat list of each usage's nonzero access-distribution entries;
+    /// `nz_start[i]..nz_start[i+1]` indexes usage `i`'s slice.
+    nz: Vec<NzFrac>,
+    nz_start: Vec<u32>,
+    /// Per-round miss-latency matrix, row-major `[run_node][home]`:
+    /// `LatencyParams::miss_cycles` is a pure function of the home node,
+    /// the pair and the current multipliers, so it is evaluated n² times
+    /// per round instead of once per usage × home.
+    miss_cycles_matrix: Vec<f64>,
+    llc_occ: Vec<LlcOccupancy>,
+    llc_scratch: LlcScratch,
+}
+
+/// Round-invariant per-usage terms of the fixed-point solve.
+#[derive(Debug, Clone, Copy, Default)]
+struct UsageInv {
+    run_node: u32,
+    /// `rpti / 1000`.
+    refs_per_instr: f64,
+    /// Post-sharing, post-warmup miss rate.
+    m: f64,
+    /// `(1 - m) * llc_hit_cycles`.
+    hit_term: f64,
+    mlp: f64,
+    base_cpi: f64,
+    /// Usable core cycles this quantum.
+    cycles: f64,
+}
+
+/// One nonzero entry of a usage's node-access distribution.
+#[derive(Debug, Clone, Copy)]
+struct NzFrac {
+    /// Row-major `run_node * n + home` pair index.
+    pair: u32,
+    home: u32,
+    frac: f64,
 }
 
 /// The composed memory-system model for one machine.
@@ -179,6 +219,13 @@ pub struct MemoryEngine {
     imc_mult: Vec<f64>,
     qpi_mult: Vec<f64>, // per pair, row-major
     scratch: StepScratch,
+    /// Pooled results of the most recent solve (element buffers reused
+    /// across quanta instead of reallocated).
+    results: Vec<VcpuQuantumResult>,
+    /// Whether the most recent solve left the contention multipliers
+    /// bitwise unchanged — i.e. the fixed point has converged, so an
+    /// identical-input step would reproduce identical results.
+    stationary: bool,
 }
 
 impl MemoryEngine {
@@ -241,6 +288,8 @@ impl MemoryEngine {
             imc_mult: vec![1.0; n],
             qpi_mult: vec![1.0; n * n],
             scratch: StepScratch::default(),
+            results: Vec::new(),
+            stationary: false,
         }
     }
 
@@ -260,11 +309,63 @@ impl MemoryEngine {
     /// quantum between two VCPUs by passing two entries with shares
     /// summing to ≤ 1 for that PCPU).
     pub fn step(&mut self, quantum: SimDuration, usages: &[QuantumUsage]) -> Vec<VcpuQuantumResult> {
+        self.step_ref(quantum, usages).to_vec()
+    }
+
+    /// Resolve up to `max_quanta` consecutive identical quanta with one
+    /// solve. The step is performed once; if it left the contention fixed
+    /// point stationary (bitwise-unchanged multipliers), re-running it with
+    /// the same inputs would reproduce the exact same trajectory, so the
+    /// returned results stand for all `max_quanta` quanta and the caller
+    /// may apply them `max_quanta` times in closed form. Otherwise only one
+    /// quantum is covered. Returns `(results, quanta_covered)`.
+    pub fn step_batch(
+        &mut self,
+        quantum: SimDuration,
+        usages: &[QuantumUsage],
+        max_quanta: u64,
+    ) -> (&[VcpuQuantumResult], u64) {
+        self.step_ref(quantum, usages);
+        let covered = if self.stationary { max_quanta.max(1) } else { 1 };
+        (&self.results, covered)
+    }
+
+    /// Whether the most recent solve was stationary (see
+    /// [`MemoryEngine::step_batch`]).
+    pub fn last_step_stationary(&self) -> bool {
+        self.stationary
+    }
+
+    /// Results of the most recent solve.
+    pub fn last_results(&self) -> &[VcpuQuantumResult] {
+        &self.results
+    }
+
+    /// Detach the pooled results buffer so a caller can apply it while
+    /// holding other borrows; hand it back via
+    /// [`MemoryEngine::put_back_results`] to keep the pooling.
+    pub fn take_results(&mut self) -> Vec<VcpuQuantumResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Return a buffer taken with [`MemoryEngine::take_results`].
+    pub fn put_back_results(&mut self, results: Vec<VcpuQuantumResult>) {
+        self.results = results;
+    }
+
+    /// Allocation-free form of [`MemoryEngine::step`]: the returned slice
+    /// borrows pooled per-engine buffers that the next step overwrites.
+    pub fn step_ref(
+        &mut self,
+        quantum: SimDuration,
+        usages: &[QuantumUsage],
+    ) -> &[VcpuQuantumResult] {
         let quantum_us = quantum.as_micros() as f64;
         assert!(quantum_us > 0.0, "zero quantum");
 
-        // Detach the scratch buffers so `evaluate` can borrow `&self`.
+        // Detach the scratch buffers so the solve can borrow `&self`.
         let mut scratch = std::mem::take(&mut self.scratch);
+        let mut results = std::mem::take(&mut self.results);
 
         // 1. LLC sharing per node.
         scratch.per_node.resize(self.num_nodes, Vec::new());
@@ -290,48 +391,186 @@ impl MemoryEngine {
                 curve: usages[i].profile.miss_curve,
                 runtime_share: usages[i].runtime_share,
             }));
-            let occ = self.llc[node].occupancies(&scratch.demands);
-            for (&i, o) in members.iter().zip(occ.iter()) {
+            self.llc[node].occupancies_into(
+                &scratch.demands,
+                &mut scratch.llc_occ,
+                &mut scratch.llc_scratch,
+            );
+            for (&i, o) in members.iter().zip(scratch.llc_occ.iter()) {
                 let boosted = o.miss_rate * usages[i].cold_miss_boost.max(1.0);
                 scratch.miss_rate[i] =
                     boosted.min(usages[i].profile.miss_curve.max_miss.max(o.miss_rate));
             }
         }
 
+        // Hoist everything that does not change across fixed-point rounds.
+        // Each expression is composed exactly as the in-loop original so
+        // the bits match (pinned by the golden machine test).
+        scratch.inv.clear();
+        scratch.nz.clear();
+        scratch.nz_start.clear();
+        for (i, u) in usages.iter().enumerate() {
+            scratch.nz_start.push(scratch.nz.len() as u32);
+            let run_node = u.node.index();
+            for (home, &frac) in u.profile.node_access_dist.iter().enumerate() {
+                if frac <= 0.0 {
+                    continue;
+                }
+                scratch.nz.push(NzFrac {
+                    pair: (run_node * self.num_nodes + home) as u32,
+                    home: home as u32,
+                    frac,
+                });
+            }
+            let m = scratch.miss_rate[i];
+            let usable_us = (quantum_us * u.runtime_share - u.overhead_us).max(0.0);
+            scratch.inv.push(UsageInv {
+                run_node: run_node as u32,
+                refs_per_instr: u.rpti() / 1_000.0,
+                m,
+                hit_term: (1.0 - m) * self.latency.llc_hit_cycles,
+                mlp: u.profile.mlp.max(1.0),
+                base_cpi: u.profile.base_cpi,
+                cycles: usable_us * self.freq_mhz as f64,
+            });
+        }
+        scratch.nz_start.push(scratch.nz.len() as u32);
+
         // 2. Solve the contention fixed point: instruction rates depend on
         // latency multipliers, which depend on the demand those rates
         // generate. Damped iteration from the previous quantum's state.
-        // Only the last round's per-VCPU results are returned, so earlier
-        // rounds run demand-only and skip materializing them.
+        // Every round overwrites the pooled results, so the solve may stop
+        // at the first round whose update leaves all multipliers bitwise
+        // unchanged: with identical multipliers every further round
+        // recomputes identical demand, identical targets, and identical
+        // per-VCPU results, so the final round's output is already in hand.
         let quantum_s = quantum_us / 1e6;
         let mut imc_mult = self.imc_mult.clone();
         let mut qpi_mult = self.qpi_mult.clone();
-        let mut results: Vec<VcpuQuantumResult> = Vec::new();
-        for round in 0..FIXED_POINT_ROUNDS {
+        let mut round = 0;
+        loop {
             scratch.node_demand_bytes.clear();
             scratch.node_demand_bytes.resize(self.num_nodes, 0.0);
             scratch.pair_traffic_bytes.clear();
             scratch
                 .pair_traffic_bytes
                 .resize(self.num_nodes * self.num_nodes, 0.0);
-            let collect = round == FIXED_POINT_ROUNDS - 1;
-            self.evaluate(
-                quantum_us,
-                usages,
-                &scratch.miss_rate,
-                &imc_mult,
-                &qpi_mult,
-                &mut scratch.node_demand_bytes,
-                &mut scratch.pair_traffic_bytes,
-                &mut scratch.node_accesses,
-                if collect { Some(&mut results) } else { None },
-            );
+
+            // Miss latency per (run, home) pair at the round's contention
+            // levels: a pure function of the pair, so n² evaluations
+            // replace one per usage × home.
+            scratch.miss_cycles_matrix.clear();
+            for run_node in 0..self.num_nodes {
+                for (home, &home_mult) in imc_mult.iter().enumerate() {
+                    let pair = run_node * self.num_nodes + home;
+                    let hop = if home == run_node {
+                        None
+                    } else {
+                        Some(self.hop_latency_ns[pair])
+                    };
+                    scratch.miss_cycles_matrix.push(self.latency.miss_cycles(
+                        self.local_latency_ns[home],
+                        home_mult,
+                        hop,
+                        qpi_mult[pair],
+                    ));
+                }
+            }
+
+            for (i, u) in usages.iter().enumerate() {
+                let inv = &scratch.inv[i];
+                let run_node = inv.run_node as usize;
+                let nz = &scratch.nz[scratch.nz_start[i] as usize..scratch.nz_start[i + 1] as usize];
+
+                // Average cycle cost of a miss over the access distribution.
+                let mut miss_cycles = 0.0;
+                for e in nz {
+                    miss_cycles += e.frac * scratch.miss_cycles_matrix[e.pair as usize];
+                }
+
+                // Outstanding misses overlap: each miss (and L3 hit) stalls
+                // the core for latency / MLP cycles on average.
+                // The saturating `as u64` cast is `.floor().max(0.0) as
+                // u64` (truncation, zero for negatives/NaN, saturation at
+                // the top) without the libm floor call.
+                let cpi =
+                    inv.base_cpi + inv.refs_per_instr * (inv.hit_term + inv.m * miss_cycles) / inv.mlp;
+                let instructions = (inv.cycles / cpi) as u64;
+                let llc_refs = round_to_u64(instructions as f64 * inv.refs_per_instr);
+                let llc_misses = round_to_u64(llc_refs as f64 * inv.m);
+
+                scratch.node_accesses.clear();
+                scratch.node_accesses.resize(self.num_nodes, 0);
+                let mut assigned = 0u64;
+                for e in nz {
+                    let c = (llc_misses as f64 * e.frac) as u64;
+                    scratch.node_accesses[e.home as usize] = c;
+                    assigned += c;
+                }
+                // Give rounding remainder to the run node (arbitrary but local).
+                scratch.node_accesses[run_node] += llc_misses - assigned;
+
+                let local_accesses = scratch.node_accesses[run_node];
+                let remote_accesses = llc_misses - local_accesses;
+
+                // Accumulate demand. Each miss moves more than its demand
+                // line (prefetch, writeback); remote misses additionally tax
+                // the home IMC with coherence work and cross the
+                // interconnect. Only nonzero rows contribute; every
+                // accumulator slot still receives its adds in the reference
+                // order, and skipped adds are exact `+0.0` no-ops.
+                let _ = self.line_bytes;
+                for e in nz {
+                    let home = e.home as usize;
+                    if home == run_node {
+                        continue;
+                    }
+                    let bytes =
+                        scratch.node_accesses[home] as f64 * self.params.traffic_per_miss_bytes;
+                    scratch.node_demand_bytes[home] += bytes * self.params.remote_imc_overhead;
+                    scratch.pair_traffic_bytes[run_node * self.num_nodes + home] += bytes;
+                    scratch.pair_traffic_bytes[home * self.num_nodes + run_node] += bytes;
+                }
+                let local_bytes =
+                    scratch.node_accesses[run_node] as f64 * self.params.traffic_per_miss_bytes;
+                scratch.node_demand_bytes[run_node] += local_bytes;
+
+                if i < results.len() {
+                    let out = &mut results[i];
+                    out.key = u.key;
+                    out.instructions = instructions;
+                    out.llc_refs = llc_refs;
+                    out.llc_misses = llc_misses;
+                    out.local_accesses = local_accesses;
+                    out.remote_accesses = remote_accesses;
+                    out.node_accesses.clear();
+                    out.node_accesses.extend_from_slice(&scratch.node_accesses);
+                    out.effective_cpi = cpi;
+                    out.miss_rate = inv.m;
+                } else {
+                    results.push(VcpuQuantumResult {
+                        key: u.key,
+                        instructions,
+                        llc_refs,
+                        llc_misses,
+                        local_accesses,
+                        remote_accesses,
+                        node_accesses: scratch.node_accesses.clone(),
+                        effective_cpi: cpi,
+                        miss_rate: inv.m,
+                    });
+                }
+            }
+
             // Recompute multipliers from this round's demand and relax.
             let damp = if round == 0 { 1.0 } else { 0.5 };
+            let mut changed = false;
             for (node, mult) in imc_mult.iter_mut().enumerate() {
                 let target =
                     self.imc[node].latency_multiplier(scratch.node_demand_bytes[node] / quantum_s);
+                let before = *mult;
                 *mult += damp * (target - *mult);
+                changed |= *mult != before;
             }
             for a in 0..self.num_nodes {
                 for b in 0..self.num_nodes {
@@ -342,124 +581,46 @@ impl MemoryEngine {
                         }
                         None => 1.0,
                     };
+                    let before = qpi_mult[idx];
                     qpi_mult[idx] += damp * (target - qpi_mult[idx]);
+                    changed |= qpi_mult[idx] != before;
                 }
             }
+            round += 1;
+            if round == FIXED_POINT_ROUNDS || !changed {
+                break;
+            }
         }
+        results.truncate(usages.len());
+        self.stationary = imc_mult == self.imc_mult && qpi_mult == self.qpi_mult;
         self.imc_mult = imc_mult;
         self.qpi_mult = qpi_mult;
         self.scratch = scratch;
-        results
-    }
-
-    /// One evaluation of every VCPU's quantum at fixed contention levels.
-    /// Accumulates demand into the caller's buffers; per-VCPU results are
-    /// materialized only when `results` is provided (the final round).
-    #[allow(clippy::too_many_arguments)]
-    fn evaluate(
-        &self,
-        quantum_us: f64,
-        usages: &[QuantumUsage],
-        miss_rate: &[f64],
-        imc_mult: &[f64],
-        qpi_mult: &[f64],
-        node_demand_bytes: &mut [f64],
-        pair_traffic_bytes: &mut [f64],
-        node_accesses: &mut Vec<u64>,
-        mut results: Option<&mut Vec<VcpuQuantumResult>>,
-    ) {
-        if let Some(out) = results.as_deref_mut() {
-            out.clear();
-            out.reserve(usages.len());
-        }
-        for (i, u) in usages.iter().enumerate() {
-            let run_node = u.node.index();
-            let m = miss_rate[i];
-            let refs_per_instr = u.rpti() / 1_000.0;
-
-            // Average cycle cost of a miss over the access distribution.
-            let mut miss_cycles = 0.0;
-            for (home, &frac) in u.profile.node_access_dist.iter().enumerate() {
-                if frac <= 0.0 {
-                    continue;
-                }
-                let pair = run_node * self.num_nodes + home;
-                let hop = if home == run_node {
-                    None
-                } else {
-                    Some(self.hop_latency_ns[pair])
-                };
-                miss_cycles += frac
-                    * self.latency.miss_cycles(
-                        self.local_latency_ns[home],
-                        imc_mult[home],
-                        hop,
-                        qpi_mult[pair],
-                    );
-            }
-
-            // Outstanding misses overlap: each miss (and L3 hit) stalls the
-            // core for latency / MLP cycles on average.
-            let mlp = u.profile.mlp.max(1.0);
-            let cpi = u.profile.base_cpi
-                + refs_per_instr
-                    * ((1.0 - m) * self.latency.llc_hit_cycles + m * miss_cycles)
-                    / mlp;
-            let usable_us = (quantum_us * u.runtime_share - u.overhead_us).max(0.0);
-            let cycles = usable_us * self.freq_mhz as f64;
-            let instructions = (cycles / cpi).floor().max(0.0) as u64;
-            let llc_refs = (instructions as f64 * refs_per_instr).round() as u64;
-            let llc_misses = (llc_refs as f64 * m).round() as u64;
-
-            node_accesses.clear();
-            node_accesses.resize(self.num_nodes, 0);
-            let mut assigned = 0u64;
-            for (home, &frac) in u.profile.node_access_dist.iter().enumerate() {
-                let c = (llc_misses as f64 * frac).floor() as u64;
-                node_accesses[home] = c;
-                assigned += c;
-            }
-            // Give rounding remainder to the run node (arbitrary but local).
-            node_accesses[run_node] += llc_misses - assigned;
-
-            let local_accesses = node_accesses[run_node];
-            let remote_accesses = llc_misses - local_accesses;
-
-            // Accumulate demand. Each miss moves more than its demand line
-            // (prefetch, writeback); remote misses additionally tax the
-            // home IMC with coherence work and cross the interconnect.
-            let _ = self.line_bytes;
-            for (home, &c) in node_accesses.iter().enumerate() {
-                let bytes = c as f64 * self.params.traffic_per_miss_bytes;
-                if home != run_node {
-                    node_demand_bytes[home] += bytes * self.params.remote_imc_overhead;
-                    pair_traffic_bytes[run_node * self.num_nodes + home] += bytes;
-                    pair_traffic_bytes[home * self.num_nodes + run_node] += bytes;
-                } else {
-                    node_demand_bytes[home] += bytes;
-                }
-            }
-
-            if let Some(out) = results.as_deref_mut() {
-                out.push(VcpuQuantumResult {
-                    key: u.key,
-                    instructions,
-                    llc_refs,
-                    llc_misses,
-                    local_accesses,
-                    remote_accesses,
-                    node_accesses: node_accesses.clone(),
-                    effective_cpi: cpi,
-                    miss_rate: m,
-                });
-            }
-        }
+        self.results = results;
+        &self.results
     }
 }
 
 /// Damped fixed-point iterations per quantum: enough for convergence at
-/// the queueing knee, cheap enough to run every quantum.
+/// the queueing knee, cheap enough to run every quantum. The solve exits
+/// early once a round leaves every multiplier bitwise unchanged — each
+/// remaining round would reproduce exactly the same state.
 const FIXED_POINT_ROUNDS: usize = 4;
+
+/// `x.round() as u64` without the libm call. For `x < 2^53` the cast
+/// truncates exactly and `x - trunc(x)` is exact (Sterbenz: `x < 2t` for
+/// `t ≥ 1`, trivially for `t = 0`), so adding the half-up carry reproduces
+/// round-half-away-from-zero bit for bit; negatives and NaN hit the
+/// saturating-cast zero exactly like the reference, and the huge/infinite
+/// tail falls back to the reference expression itself.
+#[inline]
+fn round_to_u64(x: f64) -> u64 {
+    if x >= 9_007_199_254_740_992.0 {
+        return x.round() as u64;
+    }
+    let t = x as u64;
+    t + u64::from(x - t as f64 >= 0.5)
+}
 
 #[cfg(test)]
 mod tests {

@@ -38,6 +38,16 @@ pub struct LlcModel {
     capacity_bytes: u64,
 }
 
+/// Reusable working buffers for [`LlcModel::occupancies_into`], so the
+/// per-quantum solve allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LlcScratch {
+    occ: Vec<f64>,
+    active: Vec<usize>,
+    saturated: Vec<bool>,
+    any_saturated: bool,
+}
+
 impl LlcModel {
     pub fn new(capacity_bytes: u64) -> Self {
         assert!(capacity_bytes > 0, "LLC capacity must be nonzero");
@@ -57,18 +67,42 @@ impl LlcModel {
     /// LLC-friendly VCPU coexist with a thrasher without the model starving
     /// either artificially.
     pub fn occupancies(&self, demands: &[LlcDemand]) -> Vec<LlcOccupancy> {
+        let mut out = Vec::new();
+        let mut scratch = LlcScratch::default();
+        self.occupancies_into(demands, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free form of [`LlcModel::occupancies`]: identical math
+    /// and iteration order (the per-quantum engine solve depends on the
+    /// results being bit-for-bit the same), writing into `out` and reusing
+    /// `scratch` across calls.
+    pub fn occupancies_into(
+        &self,
+        demands: &[LlcDemand],
+        out: &mut Vec<LlcOccupancy>,
+        scratch: &mut LlcScratch,
+    ) {
         let n = demands.len();
         let cap = self.capacity_bytes as f64;
-        let mut occ = vec![0.0f64; n];
+        out.clear();
         if n == 0 {
-            return Vec::new();
+            return;
         }
+        scratch.occ.clear();
+        scratch.occ.resize(n, 0.0);
+        let occ = &mut scratch.occ;
         // Iteratively distribute capacity proportionally to demand weight,
         // capping each VCPU at its working set and redistributing surplus.
         let mut remaining_cap = cap;
-        let mut active: Vec<usize> = (0..n)
-            .filter(|&i| demands[i].rpti > 0.0 && demands[i].runtime_share > 0.0)
-            .collect();
+        scratch.active.clear();
+        scratch
+            .active
+            .extend((0..n).filter(|&i| demands[i].rpti > 0.0 && demands[i].runtime_share > 0.0));
+        let active = &mut scratch.active;
+        scratch.saturated.clear();
+        scratch.saturated.resize(n, false);
+        let saturated = &mut scratch.saturated;
         for _round in 0..n.max(1) {
             if active.is_empty() || remaining_cap <= 0.0 {
                 break;
@@ -83,9 +117,9 @@ impl LlcModel {
             if total_weight <= 0.0 {
                 break;
             }
-            let mut saturated = Vec::new();
+            scratch.any_saturated = false;
             let mut used = 0.0;
-            for &i in &active {
+            for &i in active.iter() {
                 let d = &demands[i];
                 let w = d.rpti * d.runtime_share * (d.curve.ws_bytes as f64).min(cap);
                 let grant = remaining_cap * w / total_weight;
@@ -94,23 +128,20 @@ impl LlcModel {
                 occ[i] += take;
                 used += take;
                 if occ[i] >= d.curve.ws_bytes as f64 - 1.0 {
-                    saturated.push(i);
+                    saturated[i] = true;
+                    scratch.any_saturated = true;
                 }
             }
             remaining_cap -= used;
-            if saturated.is_empty() {
+            if !scratch.any_saturated {
                 break;
             }
-            active.retain(|i| !saturated.contains(i));
+            active.retain(|&i| !saturated[i]);
         }
-        demands
-            .iter()
-            .zip(occ.iter())
-            .map(|(d, &o)| LlcOccupancy {
-                occupancy_bytes: o,
-                miss_rate: d.curve.miss_rate(o),
-            })
-            .collect()
+        out.extend(demands.iter().zip(occ.iter()).map(|(d, &o)| LlcOccupancy {
+            occupancy_bytes: o,
+            miss_rate: d.curve.miss_rate(o),
+        }));
     }
 
     /// Sum of occupancies never exceeds capacity (checked by tests and

@@ -30,6 +30,19 @@ use sim_core::{
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
 /// Timing and cost parameters of the hypervisor simulation.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -75,6 +88,12 @@ pub struct MachineConfig {
     /// own seeded streams, so the all-zero default leaves the simulation
     /// bit-identical to a build without fault injection.
     pub faults: FaultConfig,
+    /// Event-horizon macro-stepping: batch runs of event-free quanta
+    /// through one memory-engine solve. Pure execution strategy — every
+    /// metric and series is byte-identical either way; turn it off to
+    /// bisect a suspected batching bug against the reference per-quantum
+    /// stepper.
+    pub macro_step: bool,
 }
 
 impl Default for MachineConfig {
@@ -96,6 +115,7 @@ impl Default for MachineConfig {
             overhead: OverheadModel::default(),
             seed: 42,
             faults: FaultConfig::none(),
+            macro_step: true,
         }
     }
 }
@@ -137,6 +157,12 @@ impl MachineBuilder {
     /// Enable fault injection (validated at [`MachineBuilder::build`]).
     pub fn faults(mut self, faults: FaultConfig) -> Self {
         self.cfg.faults = faults;
+        self
+    }
+
+    /// Enable or disable event-horizon macro-stepping (default on).
+    pub fn macro_step(mut self, on: bool) -> Self {
+        self.cfg.macro_step = on;
         self
     }
 
@@ -224,8 +250,19 @@ pub struct Machine {
     failed_migrations: Vec<(VcpuId, NodeId)>,
     /// Injected-delay migrations waiting for their due time.
     delayed_moves: Vec<(SimTime, VcpuId, NodeId)>,
+    /// Reused buffer for landing due delayed migrations in arrival order.
+    delayed_scratch: Vec<(SimTime, VcpuId, NodeId)>,
+    /// Per-VM `(next_fire_us, stride_us)` shuffle schedule; stride 0 means
+    /// the VM never shuffles. The per-quantum modulo test fires exactly at
+    /// grid points that are multiples of the period, i.e. every
+    /// lcm(period, quantum), so a compare-and-advance replaces it.
+    shuffle_next: Vec<(u64, u64)>,
     /// Per-node throttle flags for the current sampling period.
     node_throttled: Vec<bool>,
+    /// Count of multi-quantum batches taken by the macro-stepper. Purely
+    /// diagnostic — deliberately *not* part of [`RunMetrics`], so macro and
+    /// reference runs stay byte-identical.
+    macro_batches: u64,
 }
 
 impl Machine {
@@ -313,7 +350,19 @@ impl Machine {
             .filter(|v| v.blocked)
             .map(|v| Reverse((v.next_wake, v.id.raw())))
             .collect();
+        let q_us = cfg.quantum.as_micros();
+        let shuffle_next = vms
+            .iter()
+            .map(|vm| match vm.shuffle_period {
+                Some(p) => {
+                    let stride = lcm(p.as_micros(), q_us);
+                    (stride, stride)
+                }
+                None => (u64::MAX, 0),
+            })
+            .collect();
         Ok(Machine {
+            shuffle_next,
             active_weight,
             idler_wakes,
             idler_profile: mem_model::AccessProfile::cpu_only(1.0, num_nodes),
@@ -323,7 +372,9 @@ impl Machine {
             sample_validity: vec![1.0; num_vcpus],
             failed_migrations: Vec::new(),
             delayed_moves: Vec::new(),
+            delayed_scratch: Vec::new(),
             node_throttled: vec![false; num_nodes],
+            macro_batches: 0,
             engine: MemoryEngine::new(&topo),
             sampler: PeriodSampler::new(num_vcpus, num_nodes, cfg.sample_period),
             overhead: OverheadTracker::new(cfg.overhead),
@@ -360,6 +411,12 @@ impl Machine {
 
     pub fn metrics(&self) -> &RunMetrics {
         &self.metrics
+    }
+
+    /// How many multi-quantum batches the macro-stepper has taken so far
+    /// (0 when disabled, or when the machine never went quiescent).
+    pub fn macro_batches(&self) -> u64 {
+        self.macro_batches
     }
 
     /// Enable xentrace-style event tracing, keeping the most recent
@@ -417,8 +474,9 @@ impl Machine {
     /// Run for `duration` of simulated time.
     pub fn run(&mut self, duration: SimDuration) -> &RunMetrics {
         let quanta = duration / self.cfg.quantum;
-        for _ in 0..quanta {
-            self.step_quantum();
+        let mut done = 0u64;
+        while done < quanta {
+            done += self.step_quanta(quanta - done);
         }
         self.metrics.elapsed += self.cfg.quantum * quanta;
         self.metrics.overhead_us = self.overhead.overhead_us();
@@ -426,7 +484,11 @@ impl Machine {
         &self.metrics
     }
 
-    fn step_quantum(&mut self) {
+    /// Advance one quantum, then — when the machine is quiescent — extend
+    /// the step across every following event-free quantum up to the event
+    /// horizon (capped at `max_quanta`), applying one memory-engine solve
+    /// in closed form. Returns the number of quanta consumed (≥ 1).
+    fn step_quanta(&mut self, max_quanta: u64) -> u64 {
         self.clock.step();
         let now = self.clock.now();
 
@@ -438,24 +500,170 @@ impl Machine {
         // to avoid thundering herd) and per-VCPU staggered accounting.
         self.credit_ticks(now);
         self.credit_accounting(now);
+        self.shuffle_tick(now);
+        self.wake_idlers(now);
+        self.schedule_all();
 
-        // Guest thread shuffles.
-        for vm in &mut self.vms {
-            if let Some(period) = vm.shuffle_period {
-                if now.as_micros().is_multiple_of(period.as_micros()) {
-                    vm.shuffle();
+        let batch = if self.cfg.macro_step && max_quanta > 1 {
+            self.macro_horizon(now, max_quanta)
+        } else {
+            1
+        };
+        self.execute_quanta(now, batch);
+        self.debit_running(batch);
+        if batch > 1 {
+            self.macro_batches += 1;
+            // The batch's later quanta each take the schedule keep path,
+            // which burns one timeslice quantum; the horizon guarantees no
+            // slice expires inside the batch.
+            let extra = (batch - 1) as u32;
+            for p in 0..self.pcpus.len() {
+                if let Some(v) = self.pcpus[p].current {
+                    self.vcpus[v.index()].timeslice_left -= extra;
+                }
+            }
+            self.clock.step_n(batch - 1);
+        }
+
+        let now = self.clock.now();
+        if let Some(samples) = self.sampler.maybe_sample(now) {
+            self.handle_sample(now, samples);
+        }
+        batch
+    }
+
+    /// Guest thread shuffles, via the precomputed per-VM fire times: the
+    /// common quantum compares one integer per VM instead of taking a
+    /// modulo per VM.
+    fn shuffle_tick(&mut self, now: SimTime) {
+        let now_us = now.as_micros();
+        for (vm, slot) in self.vms.iter_mut().zip(self.shuffle_next.iter_mut()) {
+            if now_us == slot.0 {
+                vm.shuffle();
+                slot.0 += slot.1;
+            }
+        }
+    }
+
+    /// How many consecutive quanta, starting with the one just scheduled,
+    /// can be executed as one batch without changing any observable result.
+    ///
+    /// Returns 1 (plain stepping) unless the machine is *quiescent*: no
+    /// fault injection, no per-quantum intensity noise, and every PCPU
+    /// running exactly one warm, correctly-placed worker over an empty
+    /// queue with no pending overhead charge. In that state the schedule
+    /// decision is a fixed point and each further quantum differs from the
+    /// last only through timer events, so the batch may extend to the
+    /// *event horizon*: the earliest of the next timeslice expiry, workload
+    /// phase change, guest-timer wake, VM shuffle, effectful credit tick,
+    /// credit-accounting grant, and sampling-period boundary. Events that
+    /// fire *before* a quantum executes bound the batch to the quanta
+    /// strictly before them; the sampler fires *after* its quantum, so a
+    /// boundary landing exactly on the batch's last quantum is fine.
+    ///
+    /// Faults pin the horizon to 1 because `fault_tick` consumes seeded RNG
+    /// draws every quantum (and transient stalls / delayed migrations can
+    /// land anywhere); batching would desynchronize the fault streams that
+    /// PR 2 pinned byte-identical.
+    fn macro_horizon(&self, now: SimTime, max_quanta: u64) -> u64 {
+        if self.faults_enabled || self.cfg.intensity_noise_sd > 0.0 {
+            return 1;
+        }
+        for p in &self.pcpus {
+            if !p.is_quiescent() {
+                return 1;
+            }
+            let v = &self.vcpus[p.current.expect("quiescent implies current").index()];
+            if v.kind != VcpuKind::Worker || v.cold_quanta > 0 || !v.allowed_on(p.node) {
+                return 1;
+            }
+        }
+
+        let q = self.cfg.quantum.as_micros();
+        let now_us = now.as_micros();
+        let tick = self.cfg.credit_tick.as_micros();
+        let window = self.cfg.accounting.as_micros();
+        let ticks_per = tick / q;
+        let slots = (window / q).max(1);
+        // The residue arithmetic below mirrors the fast paths in
+        // `credit_ticks` / `credit_accounting`; outside their preconditions
+        // (quantum divides tick and window, first period passed) fall back
+        // to per-quantum stepping.
+        if ticks_per < 1
+            || tick != ticks_per * q
+            || now_us < tick
+            || window != slots * q
+            || now_us < window
+        {
+            return 1;
+        }
+
+        let mut n = max_quanta;
+        // An event at absolute time `e` that is processed before its
+        // quantum executes allows batching only the quanta strictly
+        // before it.
+        let bound_pre = |n: &mut u64, event_us: u64| {
+            let d = event_us.saturating_sub(now_us);
+            *n = (*n).min(d.div_ceil(q).max(1));
+        };
+
+        for p in &self.pcpus {
+            let v = &self.vcpus[p.current.expect("checked above").index()];
+            // Quantum k of the batch keeps the PCPU only while the slice
+            // lasts: k ≤ timeslice_left + 1.
+            n = n.min(v.timeslice_left as u64 + 1);
+            let thread = self.vms[v.vm.index()].thread_for_slot(v.vm_idx);
+            if let Some(change) = thread.workload.next_phase_change(now) {
+                bound_pre(&mut n, change.as_micros());
+            }
+        }
+
+        if let Some(&Reverse((t, _))) = self.idler_wakes.peek() {
+            bound_pre(&mut n, t.as_micros());
+        }
+
+        for &(next, stride) in &self.shuffle_next {
+            if stride != 0 {
+                bound_pre(&mut n, next);
+            }
+        }
+
+        // Credit ticks only matter when they charge something: the stock
+        // no-overhead tick adds exactly +0.0 and is a bitwise no-op. With
+        // every PCPU busy, the next effectful tick is the next quantum
+        // whose slot indexes an existing PCPU.
+        let runnable: usize = self.pcpus.iter().map(|p| p.workload()).sum();
+        if self.policy.uses_pmu() || self.policy.tick_overhead_us(runnable) != 0.0 {
+            let base = now_us / q;
+            for k in 1..=ticks_per {
+                if ((base + k) % ticks_per) < self.pcpus.len() as u64 {
+                    n = n.min(k);
+                    break;
                 }
             }
         }
 
-        self.wake_idlers(now);
-        self.schedule_all();
-        self.execute_quantum(now);
-        self.debit_running();
-
-        if let Some(samples) = self.sampler.maybe_sample(now) {
-            self.handle_sample(now, samples);
+        // Credit accounting: VCPU i's grant lands at quanta ≡ i (mod
+        // slots), and every grant is an event (it rewrites priority).
+        {
+            let base_slot = (now_us / q) % slots;
+            for (i, v) in self.vcpus.iter().enumerate() {
+                if v.blocked {
+                    continue;
+                }
+                let r = i as u64 % slots;
+                let k = (r + slots - base_slot) % slots;
+                let k = if k == 0 { slots } else { k };
+                n = n.min(k);
+            }
         }
+
+        // Sampling fires after its quantum executes, so a boundary on the
+        // batch's final quantum is allowed.
+        let d = self.sampler.next_boundary().as_micros().saturating_sub(now_us);
+        n = n.min(d.div_ceil(q) + 1);
+
+        n.max(1)
     }
 
     /// Per-quantum fault bookkeeping (only called with faults enabled):
@@ -472,13 +680,22 @@ impl Machine {
             }
         }
         if !self.delayed_moves.is_empty() {
-            let mut i = 0;
-            while i < self.delayed_moves.len() {
-                if self.delayed_moves[i].0 > now {
-                    i += 1;
-                    continue;
+            // Split off the due entries in one linear pass (the index-based
+            // `Vec::remove` scan this replaces was quadratic in the worst
+            // case), landing them in arrival order exactly as the scan did
+            // — the order matters because `apply_partition_move` draws from
+            // the placement RNG.
+            let mut due = std::mem::take(&mut self.delayed_scratch);
+            due.clear();
+            self.delayed_moves.retain(|&entry| {
+                if entry.0 > now {
+                    true
+                } else {
+                    due.push(entry);
+                    false
                 }
-                let (_, vcpu, node) = self.delayed_moves.remove(i);
+            });
+            for &(_, vcpu, node) in &due {
                 // The VCPU may have blocked or been pinned since the
                 // request; a late migration of either would be wrong.
                 let v = &self.vcpus[vcpu.index()];
@@ -486,6 +703,7 @@ impl Machine {
                     self.apply_partition_move(vcpu, node, now);
                 }
             }
+            self.delayed_scratch = due;
         }
     }
 
@@ -558,17 +776,17 @@ impl Machine {
     /// escape accounting entirely ("tick evasion"), which lets low-pressure
     /// VCPUs stay UNDER forever and distorts every steal policy that
     /// prefers them; Xen later fixed this the same way.
-    fn debit_running(&mut self) {
+    fn debit_running(&mut self, quanta: u64) {
         let per_quantum =
             (100 * self.cfg.quantum.as_micros() / self.cfg.credit_tick.as_micros()).max(1) as i32;
         for p in 0..self.pcpus.len() {
             // A stalled PCPU executed nothing this quantum, so its pinned
-            // VCPU owes nothing.
+            // VCPU owes nothing (stalls never overlap a macro batch).
             if self.pcpus[p].stall_left > 0 {
                 continue;
             }
             if let Some(v) = self.pcpus[p].current {
-                self.vcpus[v.index()].adjust_credits(-per_quantum);
+                self.vcpus[v.index()].debit_n(per_quantum, quanta);
             }
         }
     }
@@ -904,7 +1122,7 @@ impl Machine {
         self.pcpus[target.index()].queue.push(vcpu);
     }
 
-    fn execute_quantum(&mut self, now: SimTime) {
+    fn execute_quanta(&mut self, now: SimTime, quanta: u64) {
         self.update_intensity_noise();
         let noise = &self.noise_scratch;
         let mut usages: Vec<QuantumUsage> = Vec::with_capacity(self.pcpus.len());
@@ -914,7 +1132,7 @@ impl Machine {
                 continue;
             }
             let Some(vid) = p.current else { continue };
-            self.vcpus[vid.index()].run_quanta += 1;
+            self.vcpus[vid.index()].run_quanta += quanta;
             let v = &self.vcpus[vid.index()];
             let vm = &self.vms[v.vm.index()];
             // Workers borrow their thread's phase-cached profile with the
@@ -950,40 +1168,56 @@ impl Machine {
                 overhead_us: std::mem::take(&mut p.pending_overhead_us),
             });
         }
-        let results = self.engine.step(self.cfg.quantum, &usages);
-        for r in &results {
-            let vid = VcpuId::new(r.key as u32);
-            let v = &mut self.vcpus[vid.index()];
-            if v.cold_quanta > 0 {
-                v.cold_quanta -= 1;
-            }
-            if v.kind == VcpuKind::TimerIdler {
-                // Idler bursts consume PCPU time but are guest-kernel
-                // housekeeping, not application work: they count toward
-                // machine busy time (Table III's denominator) only.
-                if v.burst_left > 0 {
-                    v.burst_left -= 1;
+        // One solve covers every quantum it leaves the contention fixed
+        // point stationary for; otherwise it covers one and the loop
+        // re-solves with the same inputs. Either way the engine replays
+        // the reference per-quantum trajectory bit for bit, and the
+        // per-quantum applications below collapse to exact closed forms
+        // (u64 multiplies and integer-valued f64 sums).
+        let mut done = 0u64;
+        while done < quanta {
+            let covered = self
+                .engine
+                .step_batch(self.cfg.quantum, &usages, quanta - done)
+                .1;
+            done += covered;
+            let results = self.engine.take_results();
+            for r in &results {
+                let vid = VcpuId::new(r.key as u32);
+                let v = &mut self.vcpus[vid.index()];
+                if v.cold_quanta > 0 {
+                    v.cold_quanta -= 1;
                 }
-                self.overhead.add_busy_time(self.cfg.quantum);
-                continue;
+                if v.kind == VcpuKind::TimerIdler {
+                    // Idler bursts consume PCPU time but are guest-kernel
+                    // housekeeping, not application work: they count toward
+                    // machine busy time (Table III's denominator) only.
+                    if v.burst_left > 0 {
+                        v.burst_left -= 1;
+                    }
+                    self.overhead.add_busy_time(self.cfg.quantum * covered);
+                    continue;
+                }
+                self.sampler.record_scaled(
+                    vid.index(),
+                    r.instructions,
+                    r.llc_refs,
+                    r.llc_misses,
+                    r.local_accesses,
+                    r.remote_accesses,
+                    &r.node_accesses,
+                    covered,
+                );
+                let m = &mut self.metrics.per_vm[v.vm.index()];
+                m.instructions += r.instructions * covered;
+                m.llc_refs += r.llc_refs * covered;
+                m.llc_misses += r.llc_misses * covered;
+                m.local_accesses += r.local_accesses * covered;
+                m.remote_accesses += r.remote_accesses * covered;
+                m.busy_us += self.cfg.quantum.as_micros() * covered;
+                self.overhead.add_busy_time(self.cfg.quantum * covered);
             }
-            self.sampler.record(
-                vid.index(),
-                r.instructions,
-                r.llc_refs,
-                r.llc_misses,
-                r.local_accesses,
-                r.remote_accesses,
-                &r.node_accesses,
-            );
-            let m = &mut self.metrics.per_vm[v.vm.index()];
-            m.instructions += r.instructions;
-            m.llc_refs += r.llc_refs;
-            m.llc_misses += r.llc_misses;
-            m.local_accesses += r.local_accesses;
-            m.remote_accesses += r.remote_accesses;
-            m.busy_us += self.cfg.quantum.as_micros();
-            self.overhead.add_busy_time(self.cfg.quantum);
+            self.engine.put_back_results(results);
         }
     }
 

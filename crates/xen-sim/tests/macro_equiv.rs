@@ -1,0 +1,144 @@
+//! Golden equivalence of the event-horizon macro-stepper.
+//!
+//! Macro-stepping is an execution strategy, not a model change: every
+//! metric and series a machine emits must be byte-identical whether quanta
+//! are executed one at a time or batched to the event horizon. These tests
+//! pin that contract at the `Machine` level; the workspace-level property
+//! tests extend it across every scheduler policy.
+
+use mem_model::AllocPolicy;
+use numa_topo::presets;
+use sim_core::{FaultConfig, SimDuration};
+use workloads::{hungry, speccpu, WorkloadSpec};
+use xen_sim::{CreditPolicy, Machine, MachineBuilder, MachineConfig, VmConfig};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+struct Setup {
+    seed: u64,
+    faults: FaultConfig,
+    noise_sd: f64,
+    shuffle: Option<SimDuration>,
+    /// (vcpus, workloads) per VM; fewer workloads than VCPUs gives the
+    /// surplus to timer idlers, whose wakes bound the event horizon.
+    vms: Vec<(usize, Vec<WorkloadSpec>)>,
+}
+
+fn build(s: &Setup, macro_step: bool) -> Machine {
+    let cfg = MachineConfig {
+        seed: s.seed,
+        faults: s.faults.clone(),
+        intensity_noise_sd: s.noise_sd,
+        macro_step,
+        ..MachineConfig::default()
+    };
+    let mut b = MachineBuilder::new(presets::xeon_e5620())
+        .config(cfg)
+        .policy(Box::new(CreditPolicy::new()));
+    for (i, (vcpus, workloads)) in s.vms.iter().enumerate() {
+        let mut vm = VmConfig::new(
+            format!("vm{i}"),
+            *vcpus,
+            2 * GB,
+            AllocPolicy::MostFree,
+            workloads.clone(),
+        );
+        vm.shuffle_period = s.shuffle;
+        b = b.add_vm(vm);
+    }
+    b.build().unwrap()
+}
+
+/// Run the setup both ways and demand byte-identical outputs; returns the
+/// macro machine's batch count so callers can assert engagement.
+fn assert_equivalent(s: &Setup, secs: u64) -> u64 {
+    let mut fast = build(s, true);
+    let mut slow = build(s, false);
+    fast.run(SimDuration::from_secs(secs));
+    slow.run(SimDuration::from_secs(secs));
+    assert_eq!(slow.macro_batches(), 0, "reference stepper must not batch");
+    assert_eq!(
+        fast.metrics().to_json(),
+        slow.metrics().to_json(),
+        "RunMetrics diverged (seed {})",
+        s.seed
+    );
+    assert_eq!(
+        fast.metrics().series_csv(),
+        slow.metrics().series_csv(),
+        "series diverged (seed {})",
+        s.seed
+    );
+    fast.macro_batches()
+}
+
+/// A fully quiescent machine — noise-free, saturated, single-phase, no
+/// idlers — must actually take the macro path, and still match the
+/// reference stepper byte for byte.
+#[test]
+fn quiescent_machine_batches_and_matches_reference() {
+    for seed in [1, 7, 42] {
+        let s = Setup {
+            seed,
+            faults: FaultConfig::none(),
+            noise_sd: 0.0,
+            shuffle: None,
+            vms: vec![(8, vec![hungry::hungry_loop(); 8])],
+        };
+        let batches = assert_equivalent(&s, 2);
+        assert!(batches > 0, "macro-stepper never engaged (seed {seed})");
+    }
+}
+
+/// Timer idlers, guest shuffles, and memory-bound phases all bound the
+/// event horizon; batching must weave between them without drifting.
+#[test]
+fn horizon_events_bound_batches_without_drift() {
+    for seed in [1, 7, 42] {
+        let s = Setup {
+            seed,
+            faults: FaultConfig::none(),
+            noise_sd: 0.0,
+            shuffle: Some(SimDuration::from_millis(50)),
+            vms: vec![
+                (8, vec![speccpu::soplex(); 6]),
+                (4, vec![hungry::hungry_loop(); 4]),
+            ],
+        };
+        assert_equivalent(&s, 2);
+    }
+}
+
+/// With the default intensity noise the horizon collapses to one quantum;
+/// outputs are trivially identical, but the flag itself must be inert.
+#[test]
+fn noisy_machine_matches_reference() {
+    for seed in [1, 7, 42] {
+        let s = Setup {
+            seed,
+            faults: FaultConfig::none(),
+            noise_sd: MachineConfig::default().intensity_noise_sd,
+            shuffle: Some(SimDuration::from_millis(50)),
+            vms: vec![(8, vec![speccpu::milc(); 6])],
+        };
+        assert_equivalent(&s, 2);
+    }
+}
+
+/// Fault injection pins the horizon to one quantum so the seeded fault
+/// streams stay byte-identical: the macro machine must take zero batches
+/// and reproduce the reference run exactly, fault counters included.
+#[test]
+fn faulty_machine_never_batches_and_matches_reference() {
+    for seed in [1, 7, 42] {
+        let s = Setup {
+            seed,
+            faults: FaultConfig::uniform(0.1, seed + 1),
+            noise_sd: 0.0,
+            shuffle: None,
+            vms: vec![(8, vec![hungry::hungry_loop(); 8])],
+        };
+        let batches = assert_equivalent(&s, 2);
+        assert_eq!(batches, 0, "faults must pin the horizon to 1 quantum");
+    }
+}

@@ -1,6 +1,7 @@
 //! Workspace-level property tests: invariants that must hold across the
 //! whole stack for arbitrary configurations.
 
+use experiments::runner::{run_workload, RunOptions, Scheduler, SetupKind, ALL_SCHEDULERS};
 use mem_model::AllocPolicy;
 use numa_topo::{presets, NodeConfig, TopologyBuilder};
 use proptest::prelude::*;
@@ -10,6 +11,78 @@ use workloads::{npb, speccpu, WorkloadSpec};
 use xen_sim::{CreditPolicy, Machine, MachineBuilder, VmConfig};
 
 const GB: u64 = 1024 * 1024 * 1024;
+
+/// Every scheduler the macro-stepper must be invisible to: the paper's
+/// five plus the gracefully-degrading vProbe variant.
+const MACRO_EQUIV_SCHEDULERS: [Scheduler; 6] = [
+    ALL_SCHEDULERS[0],
+    ALL_SCHEDULERS[1],
+    ALL_SCHEDULERS[2],
+    ALL_SCHEDULERS[3],
+    ALL_SCHEDULERS[4],
+    Scheduler::VProbeGd,
+];
+
+/// Run one (scheduler, seed, fault) configuration with macro-stepping on
+/// and off and demand byte-identical metrics and series.
+fn assert_macro_invisible(scheduler: Scheduler, seed: u64, fault_rate: f64) {
+    assert_macro_invisible_on(scheduler, seed, fault_rate, npb::lu(), npb::lu());
+}
+
+fn assert_macro_invisible_on(
+    scheduler: Scheduler,
+    seed: u64,
+    fault_rate: f64,
+    w1: WorkloadSpec,
+    w2: WorkloadSpec,
+) {
+    let mut opts = RunOptions {
+        duration: SimDuration::from_secs(2),
+        warmup: SimDuration::from_secs(1),
+        seed,
+        shuffle: Some(SimDuration::from_millis(500)),
+        ..RunOptions::default()
+    };
+    if fault_rate > 0.0 {
+        opts.faults = FaultConfig::uniform(fault_rate, seed + 1);
+    }
+    let run = |macro_step: bool| {
+        let mut o = opts.clone();
+        o.macro_step = macro_step;
+        run_workload(
+            scheduler,
+            SetupKind::PaperEval,
+            vec![w1.clone()],
+            vec![w2.clone()],
+            &o,
+        )
+        .unwrap()
+        .metrics
+    };
+    let fast = run(true);
+    let slow = run(false);
+    let label = (scheduler.name(), seed, fault_rate);
+    assert_eq!(fast.to_json(), slow.to_json(), "metrics diverged: {label:?}");
+    assert_eq!(
+        fast.series_csv(),
+        slow.series_csv(),
+        "series diverged: {label:?}"
+    );
+}
+
+/// Golden equivalence of event-horizon macro-stepping: for every
+/// scheduler, across seeds and fault rates, macro-stepped runs are
+/// bit-identical to forced per-quantum stepping.
+#[test]
+fn macro_stepping_is_invisible_across_schedulers_seeds_and_faults() {
+    for scheduler in MACRO_EQUIV_SCHEDULERS {
+        for seed in [1, 2, 3] {
+            for fault_rate in [0.0, 0.15] {
+                assert_macro_invisible(scheduler, seed, fault_rate);
+            }
+        }
+    }
+}
 
 /// The machine used by the fault-determinism properties: vProbe-GD so
 /// every degradation path (skips, fallback, retries) is exercised.
@@ -50,6 +123,20 @@ fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Macro-stepping equivalence must also hold for arbitrary workload
+    /// mixes, not just the enumerated golden matrix above.
+    #[test]
+    fn macro_stepping_is_invisible_for_arbitrary_mixes(
+        sched_idx in 0usize..MACRO_EQUIV_SCHEDULERS.len(),
+        w1 in arb_workload(),
+        w2 in arb_workload(),
+        seed in 0u64..1000,
+        faulty in any::<bool>(),
+    ) {
+        let rate = if faulty { 0.1 } else { 0.0 };
+        assert_macro_invisible_on(MACRO_EQUIV_SCHEDULERS[sched_idx], seed, rate, w1, w2);
+    }
 
     /// Conservation: every memory access a VM makes is either local or
     /// remote, and per-node counts sum to the total, for any workload mix
