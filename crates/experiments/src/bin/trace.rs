@@ -1,0 +1,149 @@
+//! Run a scenario with tracing + telemetry enabled and export the trace.
+//!
+//! ```sh
+//! trace path/to/scenario.json                  # writes into the cwd
+//! trace --out traces/run1 path/to/scenario.json
+//! trace --seed 9 --fault-rate 0.1 --fault-seed 1 path/to/scenario.json
+//! trace --no-macro-step path/to/scenario.json  # reference stepper
+//! trace --trace-cap 500000 path/to/scenario.json
+//! trace --print-example
+//! ```
+//!
+//! Produces, under the output directory:
+//!
+//! * `trace.jsonl` — one JSON event per line (grep/jq-friendly);
+//! * `trace.chrome.json` — Chrome Trace Event format; open it at
+//!   <https://ui.perfetto.dev> or `chrome://tracing` to see per-PCPU
+//!   tracks of which VCPU ran when;
+//! * `metrics.json` — the full `RunMetrics` including the `telemetry`
+//!   block (per-period counter/gauge/histogram series);
+//!
+//! and prints the analysis report: steal locality, partition-move churn,
+//! fault/degrade audit, and the per-period RPTI classification table.
+
+use experiments::scenario::Scenario;
+use experiments::tracetool;
+use sim_core::SimDuration;
+
+const EXAMPLE: &str = r#"{
+  "topology": "xeon_e5620",
+  "scheduler": "vprobe-gd",
+  "duration_s": 10,
+  "seed": 7,
+  "fault_rate": 0.05,
+  "fault_seed": 11,
+  "vms": [
+    { "name": "spec", "vcpus": 8, "mem_gb": 4,
+      "workloads": ["soplex", "mcf", "milc", "soplex", "mcf", "milc"] },
+    { "name": "batch", "vcpus": 4, "mem_gb": 4,
+      "workloads": ["soplex", "soplex", "soplex", "soplex"] }
+  ]
+}"#;
+
+const DEFAULT_TRACE_CAP: usize = 2_000_000;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = take_value(&mut args, "--out").unwrap_or_else(|| ".".into());
+    let seed = take_value(&mut args, "--seed").map(|v| parse_num(&v, "--seed"));
+    let fault_rate = take_value(&mut args, "--fault-rate").map(|v| parse_rate(&v, "--fault-rate"));
+    let fault_seed = take_value(&mut args, "--fault-seed").map(|v| parse_num(&v, "--fault-seed"));
+    let trace_cap = take_value(&mut args, "--trace-cap")
+        .map(|v| parse_num(&v, "--trace-cap") as usize)
+        .unwrap_or(DEFAULT_TRACE_CAP);
+    let no_macro = take_flag(&mut args, "--no-macro-step");
+    match args.as_slice() {
+        [flag] if flag == "--print-example" => println!("{EXAMPLE}"),
+        [path] => {
+            let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let mut scenario = Scenario::from_json(&json).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            if let Some(s) = seed {
+                scenario.seed = s;
+            }
+            if let Some(r) = fault_rate {
+                scenario.fault_rate = r;
+            }
+            if let Some(s) = fault_seed {
+                scenario.fault_seed = s;
+            }
+            if no_macro {
+                scenario.macro_step = false;
+            }
+            let mut machine = scenario.build().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            machine.enable_trace(trace_cap.max(1));
+            machine.enable_telemetry();
+            machine.run(SimDuration::from_secs(scenario.duration_s));
+
+            std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {out_dir}: {e}");
+                std::process::exit(1);
+            });
+            let write = |file: &str, contents: String| {
+                let p = format!("{out_dir}/{file}");
+                std::fs::write(&p, contents).unwrap_or_else(|e| {
+                    eprintln!("cannot write {p}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("wrote {p}");
+            };
+            write("trace.jsonl", machine.trace_jsonl());
+            write("trace.chrome.json", machine.trace_chrome());
+            write("metrics.json", machine.metrics().to_json());
+
+            println!("{}", tracetool::analysis_report(&machine));
+        }
+        _ => {
+            eprintln!(
+                "usage: trace [--out DIR] [--seed N] [--fault-rate R] [--fault-seed N] \
+                 [--trace-cap N] [--no-macro-step] <file.json> | --print-example"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_num(v: &str, flag: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a non-negative integer, got '{v}'");
+        std::process::exit(2);
+    })
+}
+
+fn parse_rate(v: &str, flag: &str) -> f64 {
+    match v.parse::<f64>() {
+        Ok(r) if (0.0..=1.0).contains(&r) => r,
+        _ => {
+            eprintln!("{flag} expects a probability in [0, 1], got '{v}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+}

@@ -20,7 +20,9 @@
 //!
 //! [`runner`] holds the shared machinery (the paper's §V-A VM setup, the
 //! five schedulers, one-run measurement); [`report`] renders results as
-//! aligned text tables and CSV.
+//! aligned text tables and CSV. [`tracetool`] turns a traced run into the
+//! analysis report the `trace` binary prints alongside its JSONL and
+//! Chrome Trace Event (Perfetto) exports.
 
 pub mod extensions;
 pub mod fig1_remote_ratio;
@@ -36,5 +38,6 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod table3_overhead;
+pub mod tracetool;
 
 pub use runner::{run_workload, Scheduler, SetupKind, WorkloadRun, ALL_SCHEDULERS};

@@ -178,6 +178,24 @@ impl Histogram {
         self.overflow
     }
 
+    /// Inclusive lower bound of the bucketed range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Exclusive upper bound of the bucketed range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Zero all counts, keeping the bucket layout.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.underflow = 0;
+        self.overflow = 0;
+        self.count = 0;
+    }
+
     /// Approximate quantile (0 ≤ q ≤ 1) using bucket midpoints. Returns
     /// `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {

@@ -1,0 +1,125 @@
+//! Chrome Trace Event builder.
+//!
+//! Emits the JSON-array flavour of the Trace Event format, which Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing` open directly:
+//!
+//! ```json
+//! {"traceEvents":[
+//!   {"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"pcpu0"}},
+//!   {"ph":"X","pid":0,"tid":0,"ts":0,"dur":30000,"name":"vm0/v1"},
+//!   {"ph":"i","pid":0,"tid":8,"ts":1000000,"name":"sample_period","s":"t"}
+//! ],"displayTimeUnit":"ms"}
+//! ```
+//!
+//! Timestamps and durations are microseconds (the format's native unit,
+//! and the simulator's clock resolution). The builder is append-only and
+//! serializes events in insertion order, so callers that insert in
+//! deterministic order get byte-identical files.
+
+use sim_core::Json;
+
+/// Append-only builder for one Chrome Trace Event file.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Name a track (a `tid` under pid 0) via thread_name metadata.
+    pub fn thread_name(&mut self, tid: u64, name: &str) {
+        self.events.push(Json::Obj(vec![
+            ("ph".into(), Json::from("M")),
+            ("pid".into(), Json::from(0u64)),
+            ("tid".into(), Json::from(tid)),
+            ("name".into(), Json::from("thread_name")),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::from(name))]),
+            ),
+        ]));
+    }
+
+    /// A complete span (`ph:"X"`) on a track: `name` ran on `tid` from
+    /// `ts_us` for `dur_us` microseconds.
+    pub fn complete(&mut self, tid: u64, name: &str, ts_us: u64, dur_us: u64) {
+        self.events.push(Json::Obj(vec![
+            ("ph".into(), Json::from("X")),
+            ("pid".into(), Json::from(0u64)),
+            ("tid".into(), Json::from(tid)),
+            ("ts".into(), Json::from(ts_us)),
+            ("dur".into(), Json::from(dur_us)),
+            ("name".into(), Json::from(name)),
+        ]));
+    }
+
+    /// A thread-scoped instant event (`ph:"i"`), with optional `args`.
+    pub fn instant(&mut self, tid: u64, name: &str, ts_us: u64, args: Vec<(String, Json)>) {
+        let mut fields = vec![
+            ("ph".into(), Json::from("i")),
+            ("pid".into(), Json::from(0u64)),
+            ("tid".into(), Json::from(tid)),
+            ("ts".into(), Json::from(ts_us)),
+            ("name".into(), Json::from(name)),
+            ("s".into(), Json::from("t")),
+        ];
+        if !args.is_empty() {
+            fields.push(("args".into(), Json::Obj(args)));
+        }
+        self.events.push(Json::Obj(fields));
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize as a complete trace file (compact, one line).
+    pub fn to_json_string(&self) -> String {
+        Json::Obj(vec![
+            ("traceEvents".into(), Json::Arr(self.events.clone())),
+            ("displayTimeUnit".into(), Json::from("ms")),
+        ])
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_trace_json() {
+        let mut t = ChromeTrace::new();
+        t.thread_name(0, "pcpu0");
+        t.complete(0, "vm0/v1", 0, 30_000);
+        t.instant(8, "sample_period", 1_000_000, vec![("periods".into(), Json::from(1u64))]);
+        assert_eq!(t.len(), 3);
+        let s = t.to_json_string();
+        let doc = Json::parse(&s).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap();
+        match events {
+            Json::Arr(v) => assert_eq!(v.len(), 3),
+            _ => panic!("traceEvents must be an array"),
+        }
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let build = || {
+            let mut t = ChromeTrace::new();
+            t.thread_name(1, "pcpu1");
+            t.complete(1, "vm0/v0", 5, 10);
+            t.to_json_string()
+        };
+        assert_eq!(build(), build());
+    }
+}

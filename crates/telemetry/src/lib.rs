@@ -1,0 +1,26 @@
+//! Observability substrate: a deterministic metric registry and trace-export
+//! builders.
+//!
+//! The simulator's golden-value discipline extends to its observability
+//! layer: every metric is registered in a fixed order, sampled at
+//! deterministic simulation times, and serialized with stable key order, so
+//! two runs of the same seed produce byte-identical telemetry — and a run
+//! with telemetry *disabled* produces byte-identical output to a build
+//! without telemetry at all.
+//!
+//! * [`registry`] — counters, gauges, and fixed-bucket histograms, each
+//!   snapshotted into a [`sim_core::TimeSeries`] at every sampling period
+//!   and exported as one JSON block;
+//! * [`chrome`] — a builder for the Chrome Trace Event format (the JSON
+//!   flavour Perfetto and `chrome://tracing` open directly), used by
+//!   `xen-sim` to render per-PCPU execution tracks.
+//!
+//! This crate deliberately knows nothing about VCPUs or NUMA: the machine
+//! layer decides *what* to record; this layer guarantees the recording is
+//! deterministic, cheap when disabled, and stable on disk.
+
+pub mod chrome;
+pub mod registry;
+
+pub use chrome::ChromeTrace;
+pub use registry::{CounterId, GaugeId, HistogramId, Registry};

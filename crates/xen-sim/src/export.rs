@@ -1,0 +1,373 @@
+//! Trace export: JSONL and Chrome Trace Event (Perfetto) serialization.
+//!
+//! Both exporters walk a [`TraceLog`] front to back and are pure functions
+//! of its contents, so byte-identical logs yield byte-identical files. The
+//! JSONL form is one self-describing object per line (grep- and
+//! `jq`-friendly); the Chrome form renders per-PCPU tracks of which VCPU
+//! ran when, with scheduler decisions overlaid as instant events, and an
+//! extra "events" track for machine-wide occurrences (sampling periods,
+//! partition moves, faults, degrade transitions).
+//!
+//! Exporters take the machine context they need (PCPU count, VCPU labels)
+//! explicitly; `Machine::trace_jsonl` / `Machine::trace_chrome` supply it.
+
+use crate::trace::{Event, FaultEvent, TraceLog};
+use sim_core::Json;
+use telemetry::ChromeTrace;
+
+/// Serialize a trace as JSON Lines: one event object per line, each with
+/// `t_us` (microsecond timestamp) and `kind`, plus event-specific fields.
+pub fn to_jsonl(log: &TraceLog) -> String {
+    let mut out = String::new();
+    for (t, e) in log.iter() {
+        let mut fields: Vec<(String, Json)> = vec![("t_us".into(), Json::from(t.as_micros()))];
+        let kind: &str = match e {
+            Event::SwitchIn { .. } => "switch_in",
+            Event::SwitchOut { .. } => "switch_out",
+            Event::Steal { .. } => "steal",
+            Event::PartitionMove { .. } => "partition_move",
+            Event::IdlerWake { .. } => "idler_wake",
+            Event::CreditBoost { .. } => "credit_boost",
+            Event::SamplePeriod { .. } => "sample_period",
+            Event::PageMigration { .. } => "page_migration",
+            Event::Degrade { .. } => "degrade",
+            Event::Fault(f) => f.kind(),
+        };
+        if let Event::Fault(_) = e {
+            fields.push(("kind".into(), Json::from("fault")));
+            fields.push(("fault".into(), Json::from(kind)));
+        } else {
+            fields.push(("kind".into(), Json::from(kind)));
+        }
+        match e {
+            Event::SwitchIn { vcpu, pcpu } | Event::SwitchOut { vcpu, pcpu } => {
+                fields.push(("vcpu".into(), Json::from(vcpu.index())));
+                fields.push(("pcpu".into(), Json::from(pcpu.index())));
+            }
+            Event::Steal {
+                thief,
+                victim,
+                vcpu,
+                cross_node,
+            } => {
+                fields.push(("thief".into(), Json::from(thief.index())));
+                fields.push(("victim".into(), Json::from(victim.index())));
+                fields.push(("vcpu".into(), Json::from(vcpu.index())));
+                fields.push(("cross_node".into(), Json::from(*cross_node)));
+            }
+            Event::PartitionMove { vcpu, node } => {
+                fields.push(("vcpu".into(), Json::from(vcpu.index())));
+                fields.push(("node".into(), Json::from(node.index())));
+            }
+            Event::IdlerWake { vcpu, pcpu } | Event::CreditBoost { vcpu, pcpu } => {
+                fields.push(("vcpu".into(), Json::from(vcpu.index())));
+                fields.push(("pcpu".into(), Json::from(pcpu.index())));
+            }
+            Event::SamplePeriod { periods } => {
+                fields.push(("periods".into(), Json::from(*periods)));
+            }
+            Event::PageMigration { vcpu, node, bytes } => {
+                fields.push(("vcpu".into(), Json::from(vcpu.index())));
+                fields.push(("node".into(), Json::from(node.index())));
+                fields.push(("bytes".into(), Json::from(*bytes)));
+            }
+            Event::Degrade { fallback } => {
+                fields.push(("fallback".into(), Json::from(*fallback)));
+            }
+            Event::Fault(f) => match f {
+                FaultEvent::SampleLost { vcpu }
+                | FaultEvent::CounterNoise { vcpu }
+                | FaultEvent::AffinityCorrupted { vcpu } => {
+                    fields.push(("vcpu".into(), Json::from(vcpu.index())));
+                }
+                FaultEvent::MigrationFailed { vcpu, node } => {
+                    fields.push(("vcpu".into(), Json::from(vcpu.index())));
+                    fields.push(("node".into(), Json::from(node.index())));
+                }
+                FaultEvent::MigrationDelayed { vcpu, node, quanta } => {
+                    fields.push(("vcpu".into(), Json::from(vcpu.index())));
+                    fields.push(("node".into(), Json::from(node.index())));
+                    fields.push(("quanta".into(), Json::from(*quanta)));
+                }
+                FaultEvent::StealFailed { thief } => {
+                    fields.push(("thief".into(), Json::from(thief.index())));
+                }
+                FaultEvent::PcpuStall { pcpu, quanta } => {
+                    fields.push(("pcpu".into(), Json::from(pcpu.index())));
+                    fields.push(("quanta".into(), Json::from(*quanta)));
+                }
+                FaultEvent::NodeThrottled { node } => {
+                    fields.push(("node".into(), Json::from(node.index())));
+                }
+            },
+        }
+        out.push_str(&Json::Obj(fields).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Context the Chrome exporter needs from the machine.
+pub struct ChromeContext<'a> {
+    /// Track count: tids `0..num_pcpus` are PCPUs, tid `num_pcpus` is the
+    /// machine-wide "events" track.
+    pub num_pcpus: usize,
+    /// Human labels (`"vm0/v2"`, `"idler3"`) indexed by VCPU index.
+    pub vcpu_labels: &'a [String],
+    /// Timestamp to close still-open execution spans at (run end).
+    pub end_us: u64,
+}
+
+/// Render the trace as a Chrome Trace Event file: one track per PCPU with
+/// complete spans for each VCPU occupancy (paired from SwitchIn/SwitchOut,
+/// closed at `end_us` if still running), instants for per-PCPU scheduler
+/// decisions, and a final "events" track for machine-wide occurrences.
+pub fn to_chrome(log: &TraceLog, ctx: &ChromeContext) -> String {
+    let mut t = ChromeTrace::new();
+    for p in 0..ctx.num_pcpus {
+        t.thread_name(p as u64, &format!("pcpu{p}"));
+    }
+    let events_tid = ctx.num_pcpus as u64;
+    t.thread_name(events_tid, "events");
+
+    let label = |v: usize| -> &str {
+        ctx.vcpu_labels
+            .get(v)
+            .map(|s| s.as_str())
+            .unwrap_or("vcpu?")
+    };
+    // Open occupancy per PCPU: (vcpu index, span start in us).
+    let mut open: Vec<Option<(usize, u64)>> = vec![None; ctx.num_pcpus];
+    let close = |t: &mut ChromeTrace, open: &mut Vec<Option<(usize, u64)>>, p: usize, ts: u64| {
+        if let Some((v, start)) = open[p].take() {
+            t.complete(p as u64, label(v), start, ts.saturating_sub(start));
+        }
+    };
+
+    for (time, e) in log.iter() {
+        let ts = time.as_micros();
+        match e {
+            Event::SwitchIn { vcpu, pcpu } => {
+                // A missing SwitchOut (dropped from the ring) leaves a
+                // stale open span; close it at the hand-over instant.
+                close(&mut t, &mut open, pcpu.index(), ts);
+                open[pcpu.index()] = Some((vcpu.index(), ts));
+            }
+            Event::SwitchOut { pcpu, .. } => {
+                close(&mut t, &mut open, pcpu.index(), ts);
+            }
+            Event::Steal {
+                thief,
+                victim,
+                vcpu,
+                cross_node,
+            } => {
+                t.instant(
+                    thief.index() as u64,
+                    if *cross_node { "steal(remote)" } else { "steal(local)" },
+                    ts,
+                    vec![
+                        ("victim".into(), Json::from(victim.index())),
+                        ("vcpu".into(), Json::from(label(vcpu.index()))),
+                    ],
+                );
+            }
+            Event::PartitionMove { vcpu, node } => {
+                t.instant(
+                    events_tid,
+                    "partition_move",
+                    ts,
+                    vec![
+                        ("vcpu".into(), Json::from(label(vcpu.index()))),
+                        ("node".into(), Json::from(node.index())),
+                    ],
+                );
+            }
+            Event::IdlerWake { vcpu, pcpu } => {
+                t.instant(
+                    pcpu.index() as u64,
+                    "idler_wake",
+                    ts,
+                    vec![("vcpu".into(), Json::from(label(vcpu.index())))],
+                );
+            }
+            Event::CreditBoost { vcpu, pcpu } => {
+                t.instant(
+                    pcpu.index() as u64,
+                    "credit_boost",
+                    ts,
+                    vec![("vcpu".into(), Json::from(label(vcpu.index())))],
+                );
+            }
+            Event::SamplePeriod { periods } => {
+                t.instant(
+                    events_tid,
+                    "sample_period",
+                    ts,
+                    vec![("periods".into(), Json::from(*periods))],
+                );
+            }
+            Event::PageMigration { vcpu, node, bytes } => {
+                t.instant(
+                    events_tid,
+                    "page_migration",
+                    ts,
+                    vec![
+                        ("vcpu".into(), Json::from(label(vcpu.index()))),
+                        ("node".into(), Json::from(node.index())),
+                        ("bytes".into(), Json::from(*bytes)),
+                    ],
+                );
+            }
+            Event::Degrade { fallback } => {
+                t.instant(
+                    events_tid,
+                    if *fallback { "degrade(enter)" } else { "degrade(recover)" },
+                    ts,
+                    vec![],
+                );
+            }
+            Event::Fault(f) => {
+                t.instant(
+                    events_tid,
+                    &format!("fault:{}", f.kind()),
+                    ts,
+                    vec![],
+                );
+            }
+        }
+    }
+    for p in 0..ctx.num_pcpus {
+        close(&mut t, &mut open, p, ctx.end_us);
+    }
+    t.to_json_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topo::{NodeId, PcpuId, VcpuId};
+    use sim_core::{SimDuration, SimTime};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn sample_log() -> TraceLog {
+        let mut log = TraceLog::with_capacity(64);
+        log.record(
+            t(0),
+            Event::SwitchIn {
+                vcpu: VcpuId::new(3),
+                pcpu: PcpuId::new(1),
+            },
+        );
+        log.record(
+            t(10),
+            Event::Steal {
+                thief: PcpuId::new(0),
+                victim: PcpuId::new(1),
+                vcpu: VcpuId::new(4),
+                cross_node: true,
+            },
+        );
+        log.record(
+            t(30),
+            Event::SwitchOut {
+                vcpu: VcpuId::new(3),
+                pcpu: PcpuId::new(1),
+            },
+        );
+        log.record(
+            t(40),
+            Event::Fault(FaultEvent::PcpuStall {
+                pcpu: PcpuId::new(1),
+                quanta: 3,
+            }),
+        );
+        log.record(t(1000), Event::SamplePeriod { periods: 1 });
+        log.record(t(1000), Event::Degrade { fallback: true });
+        log.record(
+            t(1000),
+            Event::PartitionMove {
+                vcpu: VcpuId::new(3),
+                node: NodeId::new(1),
+            },
+        );
+        log
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_schema() {
+        let log = sample_log();
+        let jsonl = to_jsonl(&log);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), log.len());
+        for line in &lines {
+            let doc = sim_core::Json::parse(line).expect("every line parses");
+            assert!(doc.get("t_us").is_some(), "{line}");
+            assert!(doc.get("kind").is_some(), "{line}");
+        }
+        assert!(lines[0].starts_with("{\"t_us\":0,\"kind\":\"switch_in\""));
+        assert!(lines[3].contains("\"kind\":\"fault\",\"fault\":\"pcpu_stall\""));
+        assert!(lines[5].contains("\"fallback\":true"));
+    }
+
+    #[test]
+    fn chrome_pairs_spans_and_closes_at_end() {
+        let log = sample_log();
+        let ctx = ChromeContext {
+            num_pcpus: 2,
+            vcpu_labels: &["a", "b", "c", "vm0/v3", "vm1/v0"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+            end_us: 2_000_000,
+        };
+        let s = to_chrome(&log, &ctx);
+        let doc = sim_core::Json::parse(&s).expect("valid JSON");
+        let events = match doc.get("traceEvents").unwrap() {
+            sim_core::Json::Arr(v) => v.clone(),
+            _ => panic!(),
+        };
+        // 3 thread_name + 1 complete span + 5 instants.
+        assert_eq!(events.len(), 9);
+        // The span for vm0/v3 on pcpu1 runs 0 → 30ms.
+        assert!(s.contains("\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":0,\"dur\":30000,\"name\":\"vm0/v3\""));
+        assert!(s.contains("steal(remote)"));
+        assert!(s.contains("fault:pcpu_stall"));
+    }
+
+    #[test]
+    fn chrome_closes_still_open_span_at_end_us() {
+        let mut log = TraceLog::with_capacity(8);
+        log.record(
+            t(5),
+            Event::SwitchIn {
+                vcpu: VcpuId::new(0),
+                pcpu: PcpuId::new(0),
+            },
+        );
+        let labels = vec!["vm0/v0".to_string()];
+        let ctx = ChromeContext {
+            num_pcpus: 1,
+            vcpu_labels: &labels,
+            end_us: 9_000,
+        };
+        let s = to_chrome(&log, &ctx);
+        assert!(s.contains("\"ts\":5000,\"dur\":4000"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let log = sample_log();
+        let labels: Vec<String> = (0..5).map(|i| format!("v{i}")).collect();
+        let ctx = ChromeContext {
+            num_pcpus: 2,
+            vcpu_labels: &labels,
+            end_us: 2_000_000,
+        };
+        assert_eq!(to_jsonl(&log), to_jsonl(&log));
+        assert_eq!(to_chrome(&log, &ctx), to_chrome(&log, &ctx));
+    }
+}

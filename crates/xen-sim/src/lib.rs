@@ -19,6 +19,7 @@
 //! their boundaries.
 
 pub mod credit;
+pub mod export;
 pub mod machine;
 pub mod metrics;
 pub mod pcpu;
@@ -35,7 +36,8 @@ pub use policy::{
     AnalyzerView, DegradeReport, PageMigration, PartitionPlan, PeriodFeedback, SchedPolicy,
     StealContext, VcpuAssignment, VcpuView,
 };
+pub use export::{to_chrome, to_jsonl, ChromeContext};
 pub use sim_core::{FaultConfig, FaultInjector};
-pub use trace::{Event, TraceLog};
+pub use trace::{Event, FaultEvent, TraceLog};
 pub use vcpu::{Priority, VcpuState};
 pub use vm::{GuestThread, VmConfig, VmRuntime};

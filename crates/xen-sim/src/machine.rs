@@ -29,6 +29,14 @@ use sim_core::{
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use telemetry::{CounterId, GaugeId, HistogramId, Registry};
+
+/// RPTI classification thresholds (the paper's Table 2 boundaries, matching
+/// `vprobe::Bounds::default`), duplicated here because the simulator cannot
+/// depend on the policy crate. Used only for telemetry classification
+/// counters, never for scheduling decisions.
+const RPTI_FRIENDLY_MAX: f64 = 3.0;
+const RPTI_FITTING_MAX: f64 = 20.0;
 
 fn gcd(mut a: u64, mut b: u64) -> u64 {
     while b != 0 {
@@ -259,10 +267,37 @@ pub struct Machine {
     shuffle_next: Vec<(u64, u64)>,
     /// Per-node throttle flags for the current sampling period.
     node_throttled: Vec<bool>,
-    /// Count of multi-quantum batches taken by the macro-stepper. Purely
-    /// diagnostic — deliberately *not* part of [`RunMetrics`], so macro and
-    /// reference runs stay byte-identical.
-    macro_batches: u64,
+    /// Deterministic metric registry, snapshotted at every sampling period
+    /// and exported into [`RunMetrics::telemetry`] when enabled.
+    telemetry: Registry,
+    /// Ids of the metrics registered in [`Machine::register_telemetry`].
+    tids: TelemetryIds,
+    /// Whether the policy reported fallback mode active at the previous
+    /// period, for edge-detecting degrade/recover transitions.
+    was_fallback: bool,
+}
+
+/// Handles to the machine's registered telemetry metrics. The macro-batch
+/// count lives here as a *diagnostic* gauge: always maintained, excluded
+/// from the export, so macro and reference runs stay byte-identical.
+struct TelemetryIds {
+    c_steals_local: CounterId,
+    c_steals_remote: CounterId,
+    c_partition_moves: CounterId,
+    c_credit_boosts: CounterId,
+    c_idler_wakes: CounterId,
+    c_faults: CounterId,
+    c_degrade_enter: CounterId,
+    c_degrade_recover: CounterId,
+    c_rpti_friendly: CounterId,
+    c_rpti_fitting: CounterId,
+    c_rpti_thrashing: CounterId,
+    g_active_vcpus: GaugeId,
+    g_macro_batches: GaugeId,
+    h_steal_latency: HistogramId,
+    h_migration_distance: HistogramId,
+    h_runq_depth: HistogramId,
+    h_rpti: HistogramId,
 }
 
 impl Machine {
@@ -350,6 +385,8 @@ impl Machine {
             .filter(|v| v.blocked)
             .map(|v| Reverse((v.next_wake, v.id.raw())))
             .collect();
+        let mut telemetry = Registry::new();
+        let tids = Machine::register_telemetry(&mut telemetry);
         let q_us = cfg.quantum.as_micros();
         let shuffle_next = vms
             .iter()
@@ -374,7 +411,9 @@ impl Machine {
             delayed_moves: Vec::new(),
             delayed_scratch: Vec::new(),
             node_throttled: vec![false; num_nodes],
-            macro_batches: 0,
+            telemetry,
+            tids,
+            was_fallback: false,
             engine: MemoryEngine::new(&topo),
             sampler: PeriodSampler::new(num_vcpus, num_nodes, cfg.sample_period),
             overhead: OverheadTracker::new(cfg.overhead),
@@ -391,6 +430,30 @@ impl Machine {
             vcpus,
             pcpus,
         })
+    }
+
+    /// Register the machine's metric set. Registration order is the export
+    /// order, so changing it changes the `telemetry` JSON block.
+    fn register_telemetry(reg: &mut Registry) -> TelemetryIds {
+        TelemetryIds {
+            c_steals_local: reg.counter("steals_local"),
+            c_steals_remote: reg.counter("steals_remote"),
+            c_partition_moves: reg.counter("partition_moves"),
+            c_credit_boosts: reg.counter("credit_boosts"),
+            c_idler_wakes: reg.counter("idler_wakes"),
+            c_faults: reg.counter("faults_injected"),
+            c_degrade_enter: reg.counter("degrade_enter"),
+            c_degrade_recover: reg.counter("degrade_recover"),
+            c_rpti_friendly: reg.counter("rpti_friendly"),
+            c_rpti_fitting: reg.counter("rpti_fitting"),
+            c_rpti_thrashing: reg.counter("rpti_thrashing"),
+            g_active_vcpus: reg.gauge("active_vcpus"),
+            g_macro_batches: reg.diagnostic_gauge("macro_batches"),
+            h_steal_latency: reg.histogram("steal_latency", 0.0, 50.0, 10),
+            h_migration_distance: reg.histogram("migration_distance", 0.0, 50.0, 10),
+            h_runq_depth: reg.histogram("runqueue_depth", 0.0, 16.0, 16),
+            h_rpti: reg.histogram("rpti", 0.0, 40.0, 20),
+        }
     }
 
     pub fn topology(&self) -> &Topology {
@@ -414,9 +477,11 @@ impl Machine {
     }
 
     /// How many multi-quantum batches the macro-stepper has taken so far
-    /// (0 when disabled, or when the machine never went quiescent).
+    /// (0 when disabled, or when the machine never went quiescent). Backed
+    /// by the diagnostic `macro_batches` telemetry gauge, which is always
+    /// maintained but never exported.
     pub fn macro_batches(&self) -> u64 {
-        self.macro_batches
+        self.telemetry.gauge_value(self.tids.g_macro_batches) as u64
     }
 
     /// Enable xentrace-style event tracing, keeping the most recent
@@ -428,6 +493,54 @@ impl Machine {
     /// The trace log (empty unless [`Machine::enable_trace`] was called).
     pub fn trace(&self) -> &crate::trace::TraceLog {
         &self.trace
+    }
+
+    /// Enable the metric registry: counters/histograms start recording,
+    /// period snapshots accumulate, and [`RunMetrics`] gains a `telemetry`
+    /// JSON block at the next [`Machine::run`].
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry.set_enabled(true);
+    }
+
+    /// The metric registry (inert unless [`Machine::enable_telemetry`] was
+    /// called).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Human label for each VCPU (`"vm0/v2"` for workers, `"vm0/idler3"`
+    /// for timer idlers), indexed by VCPU index; used by the trace
+    /// exporters.
+    pub fn vcpu_labels(&self) -> Vec<String> {
+        self.vcpus
+            .iter()
+            .map(|v| {
+                let vm = &self.vms[v.vm.index()];
+                match v.kind {
+                    VcpuKind::Worker => format!("{}/v{}", vm.name, v.vm_idx),
+                    VcpuKind::TimerIdler => format!("{}/idler{}", vm.name, v.vm_idx),
+                }
+            })
+            .collect()
+    }
+
+    /// Serialize the trace as JSON Lines (one event object per line).
+    pub fn trace_jsonl(&self) -> String {
+        crate::export::to_jsonl(&self.trace)
+    }
+
+    /// Serialize the trace as a Chrome Trace Event file with per-PCPU
+    /// tracks, openable in Perfetto or `chrome://tracing`.
+    pub fn trace_chrome(&self) -> String {
+        let labels = self.vcpu_labels();
+        crate::export::to_chrome(
+            &self.trace,
+            &crate::export::ChromeContext {
+                num_pcpus: self.pcpus.len(),
+                vcpu_labels: &labels,
+                end_us: self.clock.now().as_micros(),
+            },
+        )
     }
 
     /// Replace the scheduling policy at runtime (used by experiments that
@@ -442,6 +555,7 @@ impl Machine {
     pub fn reset_metrics(&mut self) {
         self.metrics = RunMetrics::new(self.vms.len());
         self.overhead = OverheadTracker::new(self.cfg.overhead);
+        self.telemetry.reset();
         for v in &mut self.vcpus {
             v.run_quanta = 0;
         }
@@ -481,6 +595,7 @@ impl Machine {
         self.metrics.elapsed += self.cfg.quantum * quanta;
         self.metrics.overhead_us = self.overhead.overhead_us();
         self.metrics.busy_us = self.overhead.busy_us();
+        self.metrics.telemetry = self.telemetry.export();
         &self.metrics
     }
 
@@ -512,7 +627,7 @@ impl Machine {
         self.execute_quanta(now, batch);
         self.debit_running(batch);
         if batch > 1 {
-            self.macro_batches += 1;
+            self.telemetry.add_gauge(self.tids.g_macro_batches, 1.0);
             // The batch's later quanta each take the schedule keep path,
             // which burns one timeslice quantum; the horizon guarantees no
             // slice expires inside the batch.
@@ -677,6 +792,16 @@ impl Machine {
             } else if let Some(quanta) = self.injector.pcpu_stall() {
                 self.pcpus[p].stall_left = quanta;
                 self.metrics.faults.pcpu_stalls += 1;
+                self.telemetry.inc(self.tids.c_faults, 1);
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        crate::trace::Event::Fault(crate::trace::FaultEvent::PcpuStall {
+                            pcpu: PcpuId::from_index(p),
+                            quanta: u64::from(quanta),
+                        }),
+                    );
+                }
             }
         }
         if !self.delayed_moves.is_empty() {
@@ -885,8 +1010,21 @@ impl Machine {
             v.priority = v.wake_priority();
             v.queued_on = Some(target);
             let vid = v.id;
+            let boosted = v.priority == Priority::Boost;
             self.active_weight += self.vms[v.vm.index()].weight as u64;
             self.pcpus[target.index()].queue.push(vid);
+            self.telemetry.inc(self.tids.c_idler_wakes, 1);
+            if boosted {
+                self.telemetry.inc(self.tids.c_credit_boosts, 1);
+            }
+            if self.trace.is_enabled() {
+                self.trace
+                    .record(now, crate::trace::Event::IdlerWake { vcpu: vid, pcpu: target });
+                if boosted {
+                    self.trace
+                        .record(now, crate::trace::Event::CreditBoost { vcpu: vid, pcpu: target });
+                }
+            }
         }
     }
 
@@ -926,6 +1064,10 @@ impl Machine {
                 v.next_wake = self.clock.now() + period;
                 self.active_weight -= weight;
                 self.idler_wakes.push(Reverse((v.next_wake, cur.raw())));
+                if self.trace.is_enabled() {
+                    self.trace
+                        .record(self.clock.now(), crate::trace::Event::SwitchOut { vcpu: cur, pcpu: pid });
+                }
             } else {
                 let vcpus = &self.vcpus;
                 let v = &vcpus[cur.index()];
@@ -940,6 +1082,10 @@ impl Machine {
                 }
                 // Deschedule.
                 self.pcpus[pid.index()].current = None;
+                if self.trace.is_enabled() {
+                    self.trace
+                        .record(self.clock.now(), crate::trace::Event::SwitchOut { vcpu: cur, pcpu: pid });
+                }
                 let vstate = &mut self.vcpus[cur.index()];
                 vstate.running_on = None;
                 if vstate.allowed_on(node) {
@@ -973,6 +1119,15 @@ impl Machine {
                 // next balance trigger, and so do we).
                 if self.faults_enabled && self.injector.steal_failed() {
                     self.metrics.faults.steals_failed += 1;
+                    self.telemetry.inc(self.tids.c_faults, 1);
+                    if self.trace.is_enabled() {
+                        self.trace.record(
+                            self.clock.now(),
+                            crate::trace::Event::Fault(crate::trace::FaultEvent::StealFailed {
+                                thief: pid,
+                            }),
+                        );
+                    }
                 } else {
                     self.perform_steal(pid, victim, vcpu, head.is_none());
                     return;
@@ -1000,8 +1155,24 @@ impl Machine {
         if was_idle {
             self.metrics.idle_steals += 1;
         }
+        let victim_node = self.pcpus[victim.index()].node;
+        let thief_node = self.pcpus[pid.index()].node;
+        let cross = victim_node != thief_node;
+        self.telemetry.inc(
+            if cross {
+                self.tids.c_steals_remote
+            } else {
+                self.tids.c_steals_local
+            },
+            1,
+        );
+        // "Steal latency" as NUMA distance victim → thief: the cost proxy
+        // for how far the stolen VCPU's cache state has to travel.
+        self.telemetry.observe(
+            self.tids.h_steal_latency,
+            self.topo.distance().get(victim_node, thief_node) as f64,
+        );
         if self.trace.is_enabled() {
-            let cross = self.pcpus[victim.index()].node != self.pcpus[pid.index()].node;
             self.trace.record(
                 self.clock.now(),
                 crate::trace::Event::Steal {
@@ -1076,6 +1247,13 @@ impl Machine {
         let is_worker = self.vcpus[vcpu.index()].kind == VcpuKind::Worker;
         if migrated && is_worker && self.vcpus[vcpu.index()].last_pcpu.is_some() {
             self.metrics.migrations += 1;
+            let from = self
+                .topo
+                .node_of_pcpu(self.vcpus[vcpu.index()].last_pcpu.expect("checked above"));
+            self.telemetry.observe(
+                self.tids.h_migration_distance,
+                self.topo.distance().get(from, node) as f64,
+            );
             if cross_node {
                 self.metrics.cross_node_migrations += 1;
                 // The whole LLC working set must be refetched on the new
@@ -1264,7 +1442,15 @@ impl Machine {
         // below) sees; ground-truth per-VM metrics accumulate in
         // `execute_quantum` from engine results and are untouched.
         if self.faults_enabled {
-            self.inject_sample_faults(&mut samples);
+            self.inject_sample_faults(now, &mut samples);
+        }
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                crate::trace::Event::SamplePeriod {
+                    periods: self.sampler.periods_completed(),
+                },
+            );
         }
         // Refresh the machine-cached per-VCPU pressures (Eq. 2).
         for (v, s) in samples.iter().enumerate() {
@@ -1322,6 +1508,22 @@ impl Machine {
         self.metrics.faults.fallback_periods += u64::from(report.fallback_active);
         self.metrics.faults.fallbacks_triggered += u64::from(report.fallback_entered);
         self.metrics.faults.migration_retries += u64::from(report.migration_retries);
+        // Edge-detect degrade-mode transitions for the trace and counters.
+        if report.fallback_entered {
+            self.telemetry.inc(self.tids.c_degrade_enter, 1);
+            if self.trace.is_enabled() {
+                self.trace
+                    .record(now, crate::trace::Event::Degrade { fallback: true });
+            }
+        }
+        if self.was_fallback && !report.fallback_active {
+            self.telemetry.inc(self.tids.c_degrade_recover, 1);
+            if self.trace.is_enabled() {
+                self.trace
+                    .record(now, crate::trace::Event::Degrade { fallback: false });
+            }
+        }
+        self.was_fallback = report.fallback_active;
 
         for a in plan.assignments {
             let idx = a.vcpu.index();
@@ -1345,12 +1547,37 @@ impl Machine {
                     MigrationFault::Failed => {
                         self.metrics.faults.migrations_failed += 1;
                         self.failed_migrations.push((a.vcpu, target));
+                        self.telemetry.inc(self.tids.c_faults, 1);
+                        if self.trace.is_enabled() {
+                            self.trace.record(
+                                now,
+                                crate::trace::Event::Fault(
+                                    crate::trace::FaultEvent::MigrationFailed {
+                                        vcpu: a.vcpu,
+                                        node: target,
+                                    },
+                                ),
+                            );
+                        }
                         continue;
                     }
                     MigrationFault::Delayed(quanta) => {
                         self.metrics.faults.migrations_delayed += 1;
                         let due = now + self.cfg.quantum * u64::from(quanta);
                         self.delayed_moves.push((due, a.vcpu, target));
+                        self.telemetry.inc(self.tids.c_faults, 1);
+                        if self.trace.is_enabled() {
+                            self.trace.record(
+                                now,
+                                crate::trace::Event::Fault(
+                                    crate::trace::FaultEvent::MigrationDelayed {
+                                        vcpu: a.vcpu,
+                                        node: target,
+                                        quanta: u64::from(quanta),
+                                    },
+                                ),
+                            );
+                        }
                         continue;
                     }
                     MigrationFault::None => {}
@@ -1360,6 +1587,37 @@ impl Machine {
         }
 
         self.apply_page_migrations(now, plan.page_migrations);
+
+        // Close the telemetry period: record the period-end distributions
+        // (runqueue depth per PCPU, worker RPTI and its Table 2 class) and
+        // snapshot every metric's window into its series.
+        if self.telemetry.is_enabled() {
+            for p in 0..self.pcpus.len() {
+                let depth = self.pcpus[p].queue.len() as f64;
+                self.telemetry.observe(self.tids.h_runq_depth, depth);
+            }
+            let mut active = 0u64;
+            for i in 0..self.vcpus.len() {
+                if !self.vcpus[i].blocked {
+                    active += 1;
+                }
+                if self.vcpus[i].kind != VcpuKind::Worker {
+                    continue;
+                }
+                let rpti = self.pressure[i];
+                self.telemetry.observe(self.tids.h_rpti, rpti);
+                let class = if rpti < RPTI_FRIENDLY_MAX {
+                    self.tids.c_rpti_friendly
+                } else if rpti < RPTI_FITTING_MAX {
+                    self.tids.c_rpti_fitting
+                } else {
+                    self.tids.c_rpti_thrashing
+                };
+                self.telemetry.inc(class, 1);
+            }
+            self.telemetry.set_gauge(self.tids.g_active_vcpus, active as f64);
+            self.telemetry.snapshot(now);
+        }
     }
 
     fn vcpu_on_node(&self, pcpu: Option<PcpuId>, node: NodeId) -> bool {
@@ -1381,6 +1639,10 @@ impl Machine {
         if let Some(pid) = self.vcpus[idx].running_on {
             self.pcpus[pid.index()].current = None;
             self.vcpus[idx].running_on = None;
+            if self.trace.is_enabled() {
+                self.trace
+                    .record(now, crate::trace::Event::SwitchOut { vcpu, pcpu: pid });
+            }
         } else if let Some(pid) = self.vcpus[idx].queued_on {
             self.pcpus[pid.index()].queue.remove(vcpu);
             self.vcpus[idx].queued_on = None;
@@ -1388,6 +1650,7 @@ impl Machine {
         self.enqueue_on_node(vcpu, target);
         if was_cross {
             self.metrics.partition_moves += 1;
+            self.telemetry.inc(self.tids.c_partition_moves, 1);
             if self.trace.is_enabled() {
                 self.trace
                     .record(now, crate::trace::Event::PartitionMove { vcpu, node: target });
@@ -1401,30 +1664,65 @@ impl Machine {
 
     /// Corrupt the period's samples per the fault schedule (only called
     /// with faults enabled) and draw the coming period's node throttles.
-    fn inject_sample_faults(&mut self, samples: &mut [PmuSample]) {
+    fn inject_sample_faults(&mut self, now: SimTime, samples: &mut [PmuSample]) {
         let num_nodes = self.topo.num_nodes();
         for (i, s) in samples.iter_mut().enumerate() {
+            let vcpu = VcpuId::new(i as u32);
             if self.injector.sample_lost() {
                 *s = PmuSample::zeroed(num_nodes);
                 self.sample_validity[i] = 0.0;
                 self.metrics.faults.samples_lost += 1;
+                self.telemetry.inc(self.tids.c_faults, 1);
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        crate::trace::Event::Fault(crate::trace::FaultEvent::SampleLost { vcpu }),
+                    );
+                }
                 continue;
             }
             self.sample_validity[i] = 1.0;
             if let Some(f) = self.injector.multiplex_factor() {
                 s.scale_llc(f);
                 self.metrics.faults.counters_noised += 1;
+                self.telemetry.inc(self.tids.c_faults, 1);
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        crate::trace::Event::Fault(crate::trace::FaultEvent::CounterNoise { vcpu }),
+                    );
+                }
             }
             if self.injector.affinity_corrupted() {
                 let k = self.injector.affinity_rotation(num_nodes);
                 s.rotate_node_accesses(k);
                 self.metrics.faults.affinity_corruptions += 1;
+                self.telemetry.inc(self.tids.c_faults, 1);
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        crate::trace::Event::Fault(
+                            crate::trace::FaultEvent::AffinityCorrupted { vcpu },
+                        ),
+                    );
+                }
             }
         }
         for n in 0..num_nodes {
             let throttled = self.injector.node_throttled();
             self.node_throttled[n] = throttled;
             self.metrics.faults.node_throttled_periods += u64::from(throttled);
+            if throttled {
+                self.telemetry.inc(self.tids.c_faults, 1);
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        crate::trace::Event::Fault(crate::trace::FaultEvent::NodeThrottled {
+                            node: NodeId::from_index(n),
+                        }),
+                    );
+                }
+            }
         }
     }
 

@@ -216,6 +216,11 @@ pub struct RunMetrics {
     pub throughput_series: Vec<TimeSeries>,
     /// Fault-injection and degradation counters; all zero without faults.
     pub faults: FaultMetrics,
+    /// Telemetry-registry export (counters, gauges, histograms with their
+    /// per-period series); `None` unless `Machine::enable_telemetry` was
+    /// called, in which case the block is omitted from the JSON so
+    /// telemetry-off runs stay byte-identical to pre-telemetry builds.
+    pub telemetry: Option<Json>,
 }
 
 impl RunMetrics {
@@ -323,6 +328,11 @@ impl RunMetrics {
         if self.faults != FaultMetrics::default() {
             fields.push(("faults".into(), self.faults.to_value()));
         }
+        // Likewise the telemetry block exists only when the registry was
+        // enabled for the run.
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry".into(), t.clone()));
+        }
         doc.to_string()
     }
 
@@ -397,6 +407,7 @@ impl RunMetrics {
                 Some(v) => FaultMetrics::from_value(v)?,
                 None => FaultMetrics::default(),
             },
+            telemetry: doc.get("telemetry").cloned(),
         })
     }
 }
@@ -450,6 +461,26 @@ mod tests {
         assert_eq!(back.faults, r.faults);
         assert_eq!(back.to_json(), json);
         assert_eq!(r.faults.injected(), 5);
+    }
+
+    #[test]
+    fn telemetry_block_omitted_when_none_and_round_trips_when_some() {
+        let clean = RunMetrics::new(1);
+        assert!(!clean.to_json().contains("telemetry"));
+
+        let mut r = RunMetrics::new(1);
+        r.telemetry = Some(Json::Obj(vec![(
+            "counters".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".into(), Json::from("steals_local")),
+                ("total".into(), Json::from(7u64)),
+            ])]),
+        )]));
+        let json = r.to_json();
+        assert!(json.contains("\"telemetry\""));
+        let back = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(back.telemetry, r.telemetry);
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]
