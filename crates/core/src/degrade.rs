@@ -313,4 +313,118 @@ mod tests {
         assert_eq!(d.mean_validity(), 1.0);
         assert!(!d.period_invalid());
     }
+
+    #[test]
+    fn validity_exactly_at_threshold_is_trusted() {
+        // The gate is strict `<`: a period sitting exactly on the
+        // threshold is acted on, and a VCPU exactly at the threshold is
+        // not dampened. The boundary must not flap.
+        let cfg = DegradeConfig::default();
+        let mut d = DegradeState::new(cfg);
+        feedback(&mut d, &[cfg.validity_threshold, cfg.validity_threshold], &[]);
+        assert_eq!(d.mean_validity(), cfg.validity_threshold);
+        assert!(!d.period_invalid());
+        assert!(d.vcpu_valid(0));
+        // Nudge one sample below: that VCPU is dampened but the period
+        // mean may still pass.
+        feedback(
+            &mut d,
+            &[cfg.validity_threshold - 1e-9, 1.0],
+            &[],
+        );
+        assert!(!d.vcpu_valid(0));
+        assert!(d.vcpu_valid(1));
+        assert!(!d.period_invalid());
+    }
+
+    #[test]
+    fn interrupted_dark_streak_never_falls_back() {
+        // dark_periods_to_fallback - 1 dark periods, one clean period,
+        // then more darkness: the streak restarts from zero, so fallback
+        // needs the full consecutive run again.
+        let cfg = DegradeConfig::default();
+        assert_eq!(cfg.dark_periods_to_fallback, 3);
+        let mut d = DegradeState::new(cfg);
+        feedback(&mut d, &[0.0], &[]);
+        feedback(&mut d, &[0.0], &[]);
+        assert!(!d.in_fallback(), "streak of 2 is below the bar");
+        feedback(&mut d, &[1.0], &[]);
+        assert!(!d.in_fallback());
+        feedback(&mut d, &[0.0], &[]);
+        feedback(&mut d, &[0.0], &[]);
+        assert!(!d.in_fallback(), "clean period reset the streak");
+        feedback(&mut d, &[0.0], &[]);
+        assert!(d.in_fallback(), "third consecutive dark period after reset");
+    }
+
+    #[test]
+    fn recovery_immediately_followed_by_new_outage_restarts_hysteresis() {
+        let cfg = DegradeConfig::default();
+        let mut d = DegradeState::new(cfg);
+        for _ in 0..3 {
+            feedback(&mut d, &[0.0], &[]);
+        }
+        assert!(d.in_fallback());
+        // One good period exits fallback...
+        feedback(&mut d, &[1.0], &[]);
+        assert!(!d.in_fallback());
+        // ...and the very next dark period must NOT re-enter instantly:
+        // the streak counter restarted, so the outage has to prove itself
+        // again before partitioning is surrendered.
+        feedback(&mut d, &[0.0], &[]);
+        assert!(d.period_invalid(), "the dark period itself is still skipped");
+        assert!(!d.in_fallback());
+        feedback(&mut d, &[0.0], &[]);
+        assert!(!d.in_fallback());
+        feedback(&mut d, &[0.0], &[]);
+        assert!(d.in_fallback());
+        assert!(d.entered_this_period(), "fresh transition, fresh entry flag");
+    }
+
+    #[test]
+    fn exhausted_vcpu_can_open_a_fresh_retry_ledger() {
+        // Burn through the whole retry budget for one VCPU, then report a
+        // brand-new failure for it: the old exhausted state must not leak
+        // into the new fault — it gets a full budget again.
+        let cfg = DegradeConfig {
+            max_retries: 1,
+            backoff_periods: 1,
+            ..DegradeConfig::default()
+        };
+        let mut d = DegradeState::new(cfg);
+        let vcpu = VcpuId::new(0);
+        let node = NodeId::new(1);
+        feedback(&mut d, &[1.0], &[(vcpu, node)]);
+        feedback(&mut d, &[1.0], &[]);
+        assert_eq!(d.take_due_retries(), vec![(vcpu, node)]);
+        // The single allowed retry fails: entry dropped.
+        feedback(&mut d, &[1.0], &[(vcpu, node)]);
+        assert_eq!(d.pending_retries(), 0, "budget exhausted");
+        // A new failure (e.g. after fleet-level churn re-pinned the VCPU)
+        // opens a fresh entry with a fresh budget.
+        let node2 = NodeId::new(0);
+        feedback(&mut d, &[1.0], &[(vcpu, node2)]);
+        assert_eq!(d.pending_retries(), 1);
+        feedback(&mut d, &[1.0], &[]);
+        assert_eq!(d.take_due_retries(), vec![(vcpu, node2)]);
+    }
+
+    #[test]
+    fn fallback_exit_does_not_disturb_pending_retries() {
+        // A migration failure recorded before an outage survives the
+        // fallback round-trip and still fires once its backoff elapses.
+        let mut d = DegradeState::new(DegradeConfig::default());
+        let vcpu = VcpuId::new(3);
+        let node = NodeId::new(1);
+        feedback(&mut d, &[1.0], &[(vcpu, node)]);
+        assert_eq!(d.pending_retries(), 1);
+        for _ in 0..3 {
+            feedback(&mut d, &[0.0], &[]);
+        }
+        assert!(d.in_fallback());
+        assert_eq!(d.pending_retries(), 1, "outage does not drop the ledger");
+        feedback(&mut d, &[1.0], &[]);
+        assert!(!d.in_fallback());
+        assert_eq!(d.take_due_retries(), vec![(vcpu, node)]);
+    }
 }

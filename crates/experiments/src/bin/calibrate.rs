@@ -3,10 +3,17 @@
 //! model parameters; kept as a diagnostic tool.
 
 use experiments::runner::{run_all_schedulers, RunOptions, SetupKind};
-use sim_core::SimDuration;
+use sim_core::{SimDuration, SimError};
 use workloads::{npb, speccpu};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), SimError> {
     let opts = RunOptions {
         duration: SimDuration::from_secs(30),
         ..RunOptions::default()
@@ -20,7 +27,7 @@ fn main() {
         ("mix", speccpu::mix()),
     ];
     for (name, wl) in cases {
-        let runs = run_all_schedulers(SetupKind::PaperEval, wl.clone(), wl, &opts).unwrap();
+        let runs = run_all_schedulers(SetupKind::PaperEval, wl.clone(), wl, &opts)?;
         let credit = runs[0].clone();
         println!("== {name} ==");
         for r in &runs {
@@ -52,4 +59,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

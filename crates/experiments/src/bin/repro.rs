@@ -9,6 +9,7 @@
 //! repro --seed 7 all   # override the simulation seed
 //! repro --fault-rate 0.05 --fault-seed 1 all   # run under fault injection
 //! repro fig-faults     # the robustness sweep (rates swept internally)
+//! repro fig-fleet      # the fleet sweep (churn + host failures at scale)
 //! repro --no-macro-step all   # reference per-quantum stepper (bisection)
 //! ```
 //!
@@ -21,13 +22,13 @@ use experiments::report::Table;
 use experiments::runner::RunOptions;
 use experiments::{
     fig1_remote_ratio, fig3_bounds, fig4_spec, fig5_npb, fig6_memcached, fig7_redis, fig8_period,
-    fig_faults, parallel, table3_overhead,
+    fig_faults, fig_fleet, parallel, table3_overhead,
 };
-use sim_core::{FaultConfig, Json, SimDuration};
-use std::path::PathBuf;
+use sim_core::{FaultConfig, Json, SimDuration, SimError};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-const ARTIFACTS: [&str; 11] = [
+const ARTIFACTS: [&str; 12] = [
     "fig1",
     "fig3",
     "fig4",
@@ -37,6 +38,7 @@ const ARTIFACTS: [&str; 11] = [
     "table3",
     "fig8",
     "fig-faults",
+    "fig-fleet",
     "ext-pagemig",
     "ext-scaling",
 ];
@@ -103,20 +105,25 @@ fn main() {
 
     let total = Instant::now();
     let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut failed: Vec<&str> = Vec::new();
     for name in &selected {
         let started = Instant::now();
-        let (table, extra) = generate(name, &opts);
-        timings.push((name.to_string(), started.elapsed().as_secs_f64()));
-        println!("{}", table.to_text());
-        if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
-            let path = dir.join(format!("{name}.csv"));
-            std::fs::write(&path, table.to_csv()).expect("write csv");
-            eprintln!("wrote {}", path.display());
-            if let Some((file, contents)) = extra {
-                let path = dir.join(file);
-                std::fs::write(&path, contents).expect("write json");
-                eprintln!("wrote {}", path.display());
+        match generate(name, &opts, quick) {
+            Ok((table, extra)) => {
+                timings.push((name.to_string(), started.elapsed().as_secs_f64()));
+                println!("{}", table.to_text());
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = write_outputs(dir, name, &table, extra) {
+                        eprintln!("error: {name}: cannot write outputs: {e}");
+                        failed.push(name);
+                    }
+                }
+            }
+            // A failed artifact doesn't abort the selection: later
+            // artifacts still regenerate, and the run exits nonzero.
+            Err(e) => {
+                eprintln!("error: {name}: {e}");
+                failed.push(name);
             }
         }
     }
@@ -124,37 +131,76 @@ fn main() {
     let effective_jobs = parallel::configured_jobs();
     eprintln!("total wall time: {total_s:.2} s ({effective_jobs} jobs)");
     record_bench(effective_jobs, quick, !no_macro, &timings, total_s);
+    if !failed.is_empty() {
+        eprintln!("failed artifacts: {}", failed.join(", "));
+        std::process::exit(1);
+    }
 }
 
 /// Produce a table, plus (for artifacts that have one) a named JSON
 /// sidecar written next to the CSV.
-fn generate(name: &str, opts: &RunOptions) -> (Table, Option<(String, String)>) {
+fn generate(
+    name: &str,
+    opts: &RunOptions,
+    quick: bool,
+) -> Result<(Table, Option<(String, String)>), SimError> {
     let table = match name {
-        "fig1" => fig1_remote_ratio::render(&fig1_remote_ratio::run(opts).expect("fig1")),
-        "fig3" => fig3_bounds::render(&fig3_bounds::run(opts).expect("fig3")),
-        "fig4" => fig4_spec::render(&fig4_spec::run(opts).expect("fig4"), "Fig. 4"),
-        "fig5" => fig5_npb::render(&fig5_npb::run(opts).expect("fig5")),
-        "fig6" => fig6_memcached::render(&fig6_memcached::run(opts).expect("fig6")),
-        "fig7" => fig7_redis::render(&fig7_redis::run(opts).expect("fig7")),
-        "table3" => table3_overhead::render(&table3_overhead::run(opts).expect("table3")),
-        "fig8" => fig8_period::render(&fig8_period::run(opts).expect("fig8")),
+        "fig1" => fig1_remote_ratio::render(&fig1_remote_ratio::run(opts)?),
+        "fig3" => fig3_bounds::render(&fig3_bounds::run(opts)?),
+        "fig4" => fig4_spec::render(&fig4_spec::run(opts)?, "Fig. 4"),
+        "fig5" => fig5_npb::render(&fig5_npb::run(opts)?),
+        "fig6" => fig6_memcached::render(&fig6_memcached::run(opts)?),
+        "fig7" => fig7_redis::render(&fig7_redis::run(opts)?),
+        "table3" => table3_overhead::render(&table3_overhead::run(opts)?),
+        "fig8" => fig8_period::render(&fig8_period::run(opts)?),
         "fig-faults" => {
-            let points = fig_faults::run(opts).expect("fig-faults");
+            let points = fig_faults::run(opts)?;
             let json = fig_faults::to_json(&points);
-            return (
+            return Ok((
                 fig_faults::render(&points),
                 Some(("fig-faults.json".into(), json)),
-            );
+            ));
+        }
+        "fig-fleet" => {
+            let points = if quick {
+                fig_fleet::run_quick(opts)?
+            } else {
+                fig_fleet::run(opts)?
+            };
+            let json = fig_fleet::to_json(&points);
+            return Ok((
+                fig_fleet::render(&points),
+                Some(("fig-fleet.json".into(), json)),
+            ));
         }
         "ext-pagemig" => experiments::extensions::render_page_migration(
-            &experiments::extensions::run_page_migration(opts).expect("ext-pagemig"),
+            &experiments::extensions::run_page_migration(opts)?,
         ),
-        "ext-scaling" => experiments::extensions::render_scaling(
-            &experiments::extensions::run_scaling(opts).expect("ext-scaling"),
-        ),
+        "ext-scaling" => {
+            experiments::extensions::render_scaling(&experiments::extensions::run_scaling(opts)?)
+        }
         _ => unreachable!("validated above"),
     };
-    (table, None)
+    Ok((table, None))
+}
+
+/// Write the CSV (and optional JSON sidecar) for one artifact.
+fn write_outputs(
+    dir: &Path,
+    name: &str,
+    table: &Table,
+    extra: Option<(String, String)>,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv())?;
+    eprintln!("wrote {}", path.display());
+    if let Some((file, contents)) = extra {
+        let path = dir.join(file);
+        std::fs::write(&path, contents)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
 }
 
 /// Merge this run's wall-clock numbers into `BENCH_repro.json`, keyed by

@@ -3,14 +3,21 @@
 //! credit machinery (DESIGN.md §8).
 
 use experiments::runner::{build_machine, RunOptions, Scheduler, SetupKind};
-use sim_core::SimDuration;
+use sim_core::{SimDuration, SimError};
 use workloads::speccpu;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), SimError> {
     let opts = RunOptions { duration: SimDuration::from_secs(30), ..RunOptions::default() };
     for sched in [Scheduler::Credit, Scheduler::VProbe, Scheduler::Lb] {
         let mut m = build_machine(sched, SetupKind::PaperEval,
-            vec![speccpu::soplex(); 4], vec![speccpu::soplex(); 4], &opts).unwrap();
+            vec![speccpu::soplex(); 4], vec![speccpu::soplex(); 4], &opts)?;
         m.run(opts.duration);
         let q = m.vcpu_run_quanta();
         let c = m.vcpu_credits();
@@ -22,4 +29,5 @@ fn main() {
             met.steals, met.steal_attempts, met.steal_attempts_empty,
             met.migrations, met.cross_node_migrations);
     }
+    Ok(())
 }

@@ -16,7 +16,10 @@
 //! [`extensions`] goes beyond the paper: the §VI future-work features
 //! (page migration) and a node-count scaling study. [`fig_faults`] is the
 //! robustness sweep — per-scheduler slowdown vs injected fault rate,
-//! including the graceful-degradation variant `vProbe-GD`.
+//! including the graceful-degradation variant `vProbe-GD`. [`fig_fleet`]
+//! scales out to a whole fleet of hosts (the [`fleet`] crate) and compares
+//! schedulers on SLO outcomes under churn, host crashes, and
+//! rack-correlated failures.
 //!
 //! [`runner`] holds the shared machinery (the paper's §V-A VM setup, the
 //! five schedulers, one-run measurement); [`report`] renders results as
@@ -33,6 +36,7 @@ pub mod fig6_memcached;
 pub mod fig7_redis;
 pub mod fig8_period;
 pub mod fig_faults;
+pub mod fig_fleet;
 pub mod parallel;
 pub mod report;
 pub mod runner;

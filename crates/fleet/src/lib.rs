@@ -1,0 +1,53 @@
+//! Fleet layer: many NUMA hosts, failure domains, self-healing placement.
+//!
+//! vProbe (CLUSTER 2016) schedules VCPUs *within* one NUMA host; this crate
+//! layers the production-scale picture above [`xen_sim::Machine`]: N hosts
+//! built from `numa-topo` presets (heterogeneous mixes allowed), a
+//! placement/admission controller using available-space scoring (Gudkov et
+//! al., "Efficient calculation of available space for multi-NUMA virtual
+//! machines"), and a fleet-level fault model — seed-deterministic host
+//! crashes and recoveries, failed/delayed inter-host live migrations with
+//! modeled copy cost, and correlated failure domains (a rack is a group of
+//! hosts that can fail together).
+//!
+//! The robustness core is self-healing: when a host crashes the controller
+//! evacuates the lost VMs through retry-with-backoff re-placement, sheds
+//! load gracefully when capacity is exhausted (admission queue with a
+//! timeout rather than a panic), and records SLO-relevant outcomes
+//! (evacuation latency, placement failures, degraded VM-minutes) through
+//! the existing [`telemetry`] registry.
+//!
+//! # Determinism
+//!
+//! Fleet time advances in *epochs* of one sampling period. Each epoch has
+//! two phases:
+//!
+//! 1. a single-threaded **controller barrier** — recoveries, landings,
+//!    crash draws, churn draws, and placement run in a fixed order (racks
+//!    and hosts by index, VMs by id, queues in FIFO order) against
+//!    dedicated forked RNG streams;
+//! 2. a **parallel step** — each Up host's `Machine` advances one epoch via
+//!    [`sim_core::parallel::parallel_map`], which returns results in input
+//!    order regardless of thread scheduling.
+//!
+//! Every host simulation is a pure function of its own state, and all
+//! cross-host decisions happen inside the barrier, so the same seed gives
+//! byte-identical output for any `--jobs` value. A further invariant,
+//! pinned by tests and CI: a 1-host fleet with zero churn and zero faults
+//! produces a host `RunMetrics` byte-identical to building the same
+//! `Machine` directly and running it once for the whole duration (chunked
+//! stepping is exact, and zero-rate controller streams make no RNG draws).
+
+pub mod config;
+pub mod controller;
+pub mod host;
+pub mod metrics;
+pub mod placement;
+
+pub use config::{
+    AdmissionConfig, ChurnConfig, FailureConfig, FleetConfig, FleetScheduler, HostPreset, VmFlavor,
+};
+pub use controller::{Fleet, FleetReport};
+pub use host::{FleetVm, Host, HostState};
+pub use metrics::FleetMetrics;
+pub use placement::{choose_host, instances_fit, HostCapacity};

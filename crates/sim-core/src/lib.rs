@@ -16,6 +16,7 @@ pub mod clock;
 pub mod error;
 pub mod faults;
 pub mod json;
+pub mod parallel;
 pub mod rng;
 pub mod series;
 pub mod stats;

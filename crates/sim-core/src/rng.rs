@@ -254,6 +254,31 @@ impl SimRng {
         -mean * u.ln()
     }
 
+    /// Sample a Poisson-distributed count with the given rate `lambda`.
+    ///
+    /// Uses Knuth's inversion-by-multiplication for small rates and falls
+    /// back to a clamped-normal approximation above `lambda = 30` so the
+    /// draw cost stays bounded. `lambda <= 0` returns 0 without consuming
+    /// any randomness, mirroring the zero-rate discipline of the fault
+    /// injector (disabled fault classes must not perturb other streams).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            let v = self.normal_clamped(lambda, lambda.sqrt(), 0.0, lambda * 8.0);
+            return v.round() as u64;
+        }
+        let limit = (-lambda).exp();
+        let mut product = self.unit();
+        let mut count = 0u64;
+        while product > limit {
+            product *= self.unit();
+            count += 1;
+        }
+        count
+    }
+
     /// Sample a truncated normal value (resampled into `[min, max]`, with a
     /// clamp fallback after a bounded number of rejections).
     pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, min: f64, max: f64) -> f64 {
@@ -375,6 +400,43 @@ mod tests {
         let sum: f64 = (0..n).map(|_| rng.exponential(2.0)).sum();
         let mean = sum / n as f64;
         assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate_consumes_no_randomness() {
+        let mut a = SimRng::seed_from(13);
+        let mut b = SimRng::seed_from(13);
+        assert_eq!(a.poisson(0.0), 0);
+        assert_eq!(a.poisson(-1.0), 0);
+        // Stream position must be untouched.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = SimRng::seed_from(14);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.poisson(3.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_tail() {
+        let mut rng = SimRng::seed_from(15);
+        let n = 5_000;
+        let sum: u64 = (0..n).map(|_| rng.poisson(100.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic() {
+        let mut a = SimRng::seed_from(16);
+        let mut b = SimRng::seed_from(16);
+        for _ in 0..100 {
+            assert_eq!(a.poisson(1.5), b.poisson(1.5));
+        }
     }
 
     #[test]

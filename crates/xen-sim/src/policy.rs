@@ -124,7 +124,11 @@ impl PartitionPlan {
 }
 
 /// A scheduling policy. See module docs.
-pub trait SchedPolicy {
+///
+/// `Send` is required so a `Machine` (which boxes its policy) can be owned
+/// by a fleet host that moves between worker threads; every policy here
+/// holds only plain owned state, so the bound costs nothing.
+pub trait SchedPolicy: Send {
     /// Human-readable policy name ("credit", "vprobe", "brm", …).
     fn name(&self) -> &str;
 

@@ -6,11 +6,14 @@
 //! * [`vprobe`] — the paper's contribution (analyzer, Algorithm 1,
 //!   Algorithm 2, and the VCPU-P / LB / BRM baselines);
 //! * [`xen_sim`] — the Credit-scheduler hypervisor substrate;
+//! * [`fleet`] — N hosts, failure domains, and self-healing placement
+//!   layered above single machines;
 //! * [`mem_model`], [`numa_topo`], [`pmu`], [`workloads`] — the machine
 //!   model underneath;
 //! * [`experiments`] — the per-figure/table regeneration harness.
 
 pub use experiments;
+pub use fleet;
 pub use mem_model;
 pub use numa_topo;
 pub use pmu;
