@@ -17,6 +17,7 @@
 use crate::analyzer::VcpuType;
 use numa_topo::{NodeId, VcpuId};
 use std::collections::VecDeque;
+use xen_sim::PartitionNote;
 
 /// One memory-intensive VCPU to place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,8 +35,23 @@ pub struct PartitionInput {
 /// result is empty. LLC-friendly inputs are ignored (callers normally
 /// pre-filter, but robustness matters more than strictness here).
 pub fn partition_vcpus(inputs: &[PartitionInput], num_nodes: usize) -> Vec<(VcpuId, NodeId)> {
+    partition_vcpus_explained(inputs, num_nodes, false).0
+}
+
+/// Algorithm 1 with optional provenance: when `explain` is true, each
+/// assignment also yields a [`PartitionNote`] naming the rule that placed
+/// the VCPU ("min-load-local-group" when MIN-NODE still had a local
+/// candidate of the preferred type, "min-load-displaced-max-group" when
+/// the largest remaining affinity group was drained instead) and the
+/// per-node load snapshot at decision time. The assignment sequence is
+/// identical either way — notes are observation, not input.
+pub fn partition_vcpus_explained(
+    inputs: &[PartitionInput],
+    num_nodes: usize,
+    explain: bool,
+) -> (Vec<(VcpuId, NodeId)>, Vec<PartitionNote>) {
     if num_nodes == 0 || inputs.is_empty() {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     // groupOfVc(c, p): FIFO per (type, affinity-node).
     let mut groups: Vec<Vec<VecDeque<VcpuId>>> =
@@ -57,6 +73,7 @@ pub fn partition_vcpus(inputs: &[PartitionInput], num_nodes: usize) -> Vec<(Vcpu
 
     let mut load = vec![0usize; num_nodes];
     let mut out = Vec::with_capacity(remaining[0] + remaining[1]);
+    let mut notes = Vec::new();
     while remaining[0] + remaining[1] > 0 {
         // Prefer LLC-T while any remain.
         let ti = if remaining[0] > 0 { 0 } else { 1 };
@@ -80,11 +97,23 @@ pub fn partition_vcpus(inputs: &[PartitionInput], num_nodes: usize) -> Vec<(Vcpu
         let vcpu = groups[ti][source]
             .pop_front()
             .expect("chosen group is non-empty");
+        if explain {
+            notes.push(PartitionNote {
+                vcpu,
+                node: Some(NodeId::from_index(min_node)),
+                rule: if source == min_node {
+                    "min-load-local-group"
+                } else {
+                    "min-load-displaced-max-group"
+                },
+                candidates: (0..num_nodes).map(|n| (n, load[n] as u64)).collect(),
+            });
+        }
         remaining[ti] -= 1;
         load[min_node] += 1;
         out.push((vcpu, NodeId::from_index(min_node)));
     }
-    out
+    (out, notes)
 }
 
 #[cfg(test)]
@@ -208,6 +237,31 @@ mod tests {
             .collect();
         let got = partition_vcpus(&inputs, 1);
         assert!(got.iter().all(|&(_, n)| n == NodeId::new(0)));
+    }
+
+    #[test]
+    fn explained_matches_plain_and_names_rules() {
+        // Same scenario as max_group_source_when_min_node_group_empty:
+        // assignments must be identical with explain on, and the displaced
+        // VCPU gets the displaced rule.
+        let inputs = vec![
+            inp(0, VcpuType::Thrashing, Some(1)),
+            inp(1, VcpuType::Thrashing, Some(1)),
+            inp(2, VcpuType::Thrashing, Some(1)),
+        ];
+        let plain = partition_vcpus(&inputs, 2);
+        let (explained, notes) = partition_vcpus_explained(&inputs, 2, true);
+        assert_eq!(plain, explained);
+        assert_eq!(notes.len(), 3);
+        assert_eq!(notes[0].rule, "min-load-local-group");
+        assert_eq!(notes[1].rule, "min-load-displaced-max-group");
+        assert_eq!(notes[2].rule, "min-load-local-group");
+        // Candidate loads snapshot decision time: second pick sees node 1
+        // already holding one VCPU.
+        assert_eq!(notes[1].candidates, vec![(0, 0), (1, 1)]);
+        // Explain off yields no notes.
+        let (_, none) = partition_vcpus_explained(&inputs, 2, false);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -4,11 +4,11 @@ use crate::analyzer::PmuDataAnalyzer;
 use crate::balance::numa_aware_steal;
 use crate::bounds::{Bounds, DynamicBounds};
 use crate::degrade::{DegradeConfig, DegradeState};
-use crate::partition::{partition_vcpus, PartitionInput};
+use crate::partition::{partition_vcpus_explained, PartitionInput};
 use numa_topo::{PcpuId, VcpuId};
 use xen_sim::{
-    AnalyzerView, DegradeReport, PageMigration, PartitionPlan, PeriodFeedback, SchedPolicy,
-    StealContext, VcpuAssignment,
+    AnalyzerView, DegradeReport, PageMigration, PartitionNote, PartitionPlan, PeriodFeedback,
+    SchedPolicy, StealContext, VcpuAssignment,
 };
 
 /// vProbe: PMU data analyzer + VCPU periodical partitioning + NUMA-aware
@@ -25,6 +25,9 @@ pub struct VProbePolicy {
     /// Graceful-degradation layer (confidence gating, Credit fallback,
     /// migration retries); `None` reproduces the paper's trusting vProbe.
     degrade: Option<DegradeState>,
+    /// Explain mode: fill [`PartitionPlan::notes`] and answer
+    /// [`SchedPolicy::explain_steal`]. Never alters any decision.
+    explain: bool,
     name: String,
 }
 
@@ -40,6 +43,7 @@ impl VProbePolicy {
             dynamic_bounds: None,
             page_migration_budget: None,
             degrade: None,
+            explain: false,
             name: "vprobe".into(),
         }
     }
@@ -142,7 +146,8 @@ impl SchedPolicy for VProbePolicy {
                 affinity: m.affinity,
             })
             .collect();
-        let placed = partition_vcpus(&inputs, self.num_nodes);
+        let (placed, mut notes) =
+            partition_vcpus_explained(&inputs, self.num_nodes, self.explain);
         // §VI extension: when a memory-intensive VCPU is assigned a node
         // other than its memory's, move its pages toward the assignment
         // instead of leaving it remote forever.
@@ -171,6 +176,14 @@ impl SchedPolicy for VProbePolicy {
                 let vcpu = VcpuId::new(i as u32);
                 if view.vcpus[i].assigned_node.is_some() {
                     assignments.push(VcpuAssignment { vcpu, node: None });
+                    if self.explain {
+                        notes.push(PartitionNote {
+                            vcpu,
+                            node: None,
+                            rule: "friendly-released",
+                            candidates: Vec::new(),
+                        });
+                    }
                 }
             }
         }
@@ -183,6 +196,14 @@ impl SchedPolicy for VProbePolicy {
                         vcpu,
                         node: Some(node),
                     });
+                    if self.explain {
+                        notes.push(PartitionNote {
+                            vcpu,
+                            node: Some(node),
+                            rule: "retry-after-backoff",
+                            candidates: Vec::new(),
+                        });
+                    }
                 }
                 report.migration_retries += 1;
             }
@@ -196,6 +217,7 @@ impl SchedPolicy for VProbePolicy {
             hard: false,
             page_migrations,
             report,
+            notes,
         }
     }
 
@@ -224,6 +246,37 @@ impl SchedPolicy for VProbePolicy {
 
     fn uses_pmu(&self) -> bool {
         true
+    }
+
+    fn set_explain(&mut self, on: bool) {
+        self.explain = on;
+    }
+
+    fn explain_steal(
+        &self,
+        ctx: &StealContext<'_>,
+        choice: &Option<(PcpuId, VcpuId)>,
+    ) -> &'static str {
+        let fallback = self.degrade.as_ref().is_some_and(DegradeState::in_fallback);
+        if !self.numa_lb_enabled || fallback {
+            // Stock Credit path: first candidate in PCPU id order won.
+            return "credit-first-fit";
+        }
+        match choice {
+            None => "no-candidates",
+            Some((victim, _)) => {
+                let thief_node = ctx.topo.node_of_pcpu(ctx.idle_pcpu);
+                if ctx.topo.node_of_pcpu(*victim) == thief_node {
+                    // Algorithm 2 stage 1: heaviest local queue, then the
+                    // VCPU with the smallest LLC pressure.
+                    "local-heaviest-min-pressure"
+                } else {
+                    // Stage 2: only reached when the PCPU would otherwise
+                    // idle; nearest remote node by distance.
+                    "remote-would-idle"
+                }
+            }
+        }
     }
 }
 

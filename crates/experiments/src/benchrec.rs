@@ -1,0 +1,79 @@
+//! Shared wall-clock recording into `BENCH_repro.json`.
+//!
+//! Both the `repro` binary (per-artifact sweep timings, keyed
+//! `jobs_N`/`jobs_N_nomacro`) and the `trace` binary (the `trace_tool`
+//! key) merge their entries into the same file in the working
+//! directory, so one JSON object holds every timing a checkout has
+//! produced. Recording is best-effort: a write failure warns and never
+//! fails the run it is timing.
+
+use sim_core::Json;
+
+/// The merged timings file, written in the working directory.
+pub const BENCH_FILE: &str = "BENCH_repro.json";
+
+/// Merge `entry` under `key` into the JSON object stored at `file`,
+/// creating the file (or replacing a non-object) if needed. Existing
+/// keys other than `key` are preserved in their original order.
+pub fn record(file: &str, key: &str, entry: Json) {
+    let mut doc = std::fs::read_to_string(file)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .and_then(|j| match j {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        })
+        .unwrap_or_default();
+    match doc.iter_mut().find(|(k, _)| k == key) {
+        Some(slot) => slot.1 = entry,
+        None => doc.push((key.to_string(), entry)),
+    }
+    let text = Json::Obj(doc).to_string_pretty();
+    if let Err(e) = std::fs::write(file, text) {
+        eprintln!("warning: cannot write {file}: {e}");
+    } else {
+        eprintln!("recorded timings in {file}");
+    }
+}
+
+/// Round to milliseconds so the merged file diffs stay readable.
+pub fn round3(s: f64) -> f64 {
+    (s * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_merges_and_preserves_other_keys() {
+        let dir = std::env::temp_dir().join("vprobe-benchrec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("bench.json");
+        let file = file.to_str().unwrap();
+        let _ = std::fs::remove_file(file);
+
+        record(file, "a", Json::from(1u64));
+        record(file, "b", Json::from(2u64));
+        record(file, "a", Json::from(3u64));
+
+        let doc = Json::parse(&std::fs::read_to_string(file).unwrap()).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("b").and_then(Json::as_u64), Some(2));
+        // First-insertion order is preserved across re-records.
+        match doc {
+            Json::Obj(pairs) => {
+                assert_eq!(pairs[0].0, "a");
+                assert_eq!(pairs[1].0, "b");
+            }
+            _ => panic!("expected object"),
+        }
+        let _ = std::fs::remove_file(file);
+    }
+
+    #[test]
+    fn round3_truncates_to_milliseconds() {
+        assert_eq!(round3(1.23456), 1.235);
+        assert_eq!(round3(0.0004), 0.0);
+    }
+}

@@ -8,8 +8,16 @@
 //! fleet --hosts 8 --fault-rate 0.1 --fault-seed 3         # per-host PMU faults
 //! fleet --hosts 4 --jobs 1 --out fleet.json               # sequential, JSON to a file
 //! fleet --hosts 16 --trace-host 3 --trace-out host3.json  # Chrome trace of host 3
+//! fleet --hosts 8 --crash-rate 0.1 --provenance-dir prov  # spans + SLO rollup
 //! fleet --compare-single                                  # 1-host equivalence check
 //! ```
+//!
+//! `--provenance-dir DIR` enables controller provenance and writes
+//! `DIR/spans.jsonl` (admission/evacuation journeys with retry chains),
+//! `DIR/fleet.chrome.json` (per-host span tracks for Perfetto), and
+//! `DIR/slo.json` (fleet telemetry rollup + evac-latency burn-rate
+//! series) after the run; query them with `explain slo --fleet DIR`.
+//! The report itself stays byte-identical with or without it.
 //!
 //! `--compare-single` runs a quiet 1-host fleet and a directly-built
 //! single `Machine` with the same seed and workload, and byte-diffs their
@@ -45,7 +53,8 @@ fn usage() {
          [--crash-rate R] [--rack-size N] [--rack-crash-rate R] \
          [--migration-fail-rate R] [--migration-delay-rate R] \
          [--fault-rate R] [--fault-seed N] [--jobs N] [--out FILE] \
-         [--trace-host IDX] [--trace-out FILE] [--compare-single]\n\
+         [--trace-host IDX] [--trace-out FILE] [--provenance-dir DIR] \
+         [--slo-budget-s S] [--compare-single]\n\
          schedulers: credit, vprobe, vprobe-gd; presets: xeon-e5620, 4s32c, uma-quad"
     );
 }
@@ -106,9 +115,17 @@ fn run(mut args: Vec<String>) -> Result<(), SimError> {
     if let Some(j) = take_parsed::<usize>(&mut args, "--jobs")? {
         parallel::set_jobs(j);
     }
+    if let Some(s) = take_parsed::<f64>(&mut args, "--slo-budget-s")? {
+        cfg.slo_evac_budget_s = s;
+    }
     let out = take_value(&mut args, "--out")?;
     let trace_host = take_parsed::<usize>(&mut args, "--trace-host")?;
     let trace_out = take_value(&mut args, "--trace-out")?;
+    let provenance_dir = take_value(&mut args, "--provenance-dir")?;
+    if let Some(dir) = &provenance_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| SimError::InvalidConfig(format!("cannot create {dir}: {e}")))?;
+    }
     if let Some(a) = args.first() {
         usage();
         return Err(SimError::InvalidConfig(format!("unknown argument '{a}'")));
@@ -122,6 +139,9 @@ fn run(mut args: Vec<String>) -> Result<(), SimError> {
     if let Some(idx) = trace_host {
         fleet.set_trace_host(idx, 200_000);
     }
+    if provenance_dir.is_some() {
+        fleet.enable_provenance();
+    }
     let report = fleet.run()?;
     let json = report.to_json();
     match out {
@@ -130,6 +150,20 @@ fn run(mut args: Vec<String>) -> Result<(), SimError> {
             eprintln!("wrote {path}");
         }
         None => println!("{json}"),
+    }
+    if let Some(dir) = provenance_dir {
+        for (file, contents) in [
+            ("spans.jsonl", fleet.spans_jsonl()),
+            ("fleet.chrome.json", fleet.spans_chrome()),
+            ("slo.json", fleet.slo_json()),
+        ] {
+            let contents = contents.ok_or_else(|| {
+                SimError::InvalidConfig("provenance accessors empty after enable".into())
+            })?;
+            let p = format!("{dir}/{file}");
+            write_file(&p, &contents)?;
+            eprintln!("wrote {p}");
+        }
     }
     if let (Some(idx), Some(path)) = (trace_host, trace_out) {
         match fleet.hosts().get(idx).and_then(|h| h.machine.as_ref()) {

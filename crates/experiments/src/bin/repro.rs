@@ -18,6 +18,7 @@
 //! parallel run and a `--jobs 1` run of the same selection can be compared
 //! directly. Results are bit-identical regardless of `--jobs`.
 
+use experiments::benchrec;
 use experiments::report::Table;
 use experiments::runner::RunOptions;
 use experiments::{
@@ -42,8 +43,6 @@ const ARTIFACTS: [&str; 12] = [
     "ext-pagemig",
     "ext-scaling",
 ];
-
-const BENCH_FILE: &str = "BENCH_repro.json";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -207,25 +206,17 @@ fn write_outputs(
 /// job count and stepping mode, so sequential/parallel and
 /// macro/per-quantum timings of the same selection sit side by side.
 fn record_bench(jobs: usize, quick: bool, macro_step: bool, timings: &[(String, f64)], total_s: f64) {
-    let mut doc = std::fs::read_to_string(BENCH_FILE)
-        .ok()
-        .and_then(|t| Json::parse(&t).ok())
-        .and_then(|j| match j {
-            Json::Obj(pairs) => Some(pairs),
-            _ => None,
-        })
-        .unwrap_or_default();
     let artifacts = Json::Obj(
         timings
             .iter()
-            .map(|(name, s)| (name.clone(), Json::Num(round3(*s))))
+            .map(|(name, s)| (name.clone(), Json::Num(benchrec::round3(*s))))
             .collect(),
     );
     let entry = Json::Obj(vec![
         ("jobs".into(), Json::from(jobs)),
         ("quick".into(), Json::from(quick)),
         ("macro_step".into(), Json::from(macro_step)),
-        ("total_wall_s".into(), Json::Num(round3(total_s))),
+        ("total_wall_s".into(), Json::Num(benchrec::round3(total_s))),
         ("artifact_wall_s".into(), artifacts),
     ]);
     let key = if macro_step {
@@ -233,20 +224,7 @@ fn record_bench(jobs: usize, quick: bool, macro_step: bool, timings: &[(String, 
     } else {
         format!("jobs_{jobs}_nomacro")
     };
-    match doc.iter_mut().find(|(k, _)| *k == key) {
-        Some(slot) => slot.1 = entry,
-        None => doc.push((key, entry)),
-    }
-    let text = Json::Obj(doc).to_string_pretty();
-    if let Err(e) = std::fs::write(BENCH_FILE, text) {
-        eprintln!("warning: cannot write {BENCH_FILE}: {e}");
-    } else {
-        eprintln!("recorded timings in {BENCH_FILE}");
-    }
-}
-
-fn round3(s: f64) -> f64 {
-    (s * 1000.0).round() / 1000.0
+    benchrec::record(benchrec::BENCH_FILE, &key, entry);
 }
 
 fn parse_num(v: &str, flag: &str) -> u64 {

@@ -11,6 +11,7 @@
 
 use experiments::parallel;
 use experiments::scenario::Scenario;
+use sim_core::SimError;
 
 const EXAMPLE: &str = r#"{
   "topology": "xeon_e5620",
@@ -28,26 +29,44 @@ const EXAMPLE: &str = r#"{
 }"#;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = take_value(&mut args, "--jobs").map(|v| parse_num(&v, "--jobs"));
-    let seed = take_value(&mut args, "--seed").map(|v| parse_num(&v, "--seed"));
-    let fault_rate = take_value(&mut args, "--fault-rate").map(|v| parse_rate(&v, "--fault-rate"));
-    let fault_seed = take_value(&mut args, "--fault-seed").map(|v| parse_num(&v, "--fault-seed"));
-    let no_macro = take_flag(&mut args, "--no-macro-step");
-    if let Some(j) = jobs {
-        parallel::set_jobs(j as usize);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        std::process::exit(2);
     }
+    match run(args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: scenario [--jobs N] [--seed N] [--fault-rate R] [--fault-seed N] \
+         [--no-macro-step] <file.json> | --print-example"
+    );
+}
+
+fn run(mut args: Vec<String>) -> Result<(), SimError> {
+    if let Some(j) = take_parsed::<usize>(&mut args, "--jobs")? {
+        parallel::set_jobs(j);
+    }
+    let seed = take_parsed::<u64>(&mut args, "--seed")?;
+    let fault_rate = take_rate(&mut args, "--fault-rate")?;
+    let fault_seed = take_parsed::<u64>(&mut args, "--fault-seed")?;
+    let no_macro = take_flag(&mut args, "--no-macro-step");
     match args.as_slice() {
-        [flag] if flag == "--print-example" => println!("{EXAMPLE}"),
+        [flag] if flag == "--print-example" => {
+            println!("{EXAMPLE}");
+            Ok(())
+        }
         [path] => {
-            let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(1);
-            });
-            let mut scenario = Scenario::from_json(&json).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                std::process::exit(1);
-            });
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| SimError::InvalidConfig(format!("cannot read {path}: {e}")))?;
+            let mut scenario = Scenario::from_json(&json)?;
             if let Some(s) = seed {
                 scenario.seed = s;
             }
@@ -60,36 +79,12 @@ fn main() {
             if no_macro {
                 scenario.macro_step = false;
             }
-            match scenario.run() {
-                Ok(table) => println!("{}", table.to_text()),
-                Err(e) => {
-                    eprintln!("{e}");
-                    std::process::exit(1);
-                }
-            }
+            let table = scenario.run()?;
+            println!("{}", table.to_text());
+            Ok(())
         }
         _ => {
-            eprintln!(
-                "usage: scenario [--jobs N] [--seed N] [--fault-rate R] [--fault-seed N] \
-                 [--no-macro-step] <file.json> | --print-example"
-            );
-            std::process::exit(2);
-        }
-    }
-}
-
-fn parse_num(v: &str, flag: &str) -> u64 {
-    v.parse().unwrap_or_else(|_| {
-        eprintln!("{flag} expects a non-negative integer, got '{v}'");
-        std::process::exit(2);
-    })
-}
-
-fn parse_rate(v: &str, flag: &str) -> f64 {
-    match v.parse::<f64>() {
-        Ok(r) if (0.0..=1.0).contains(&r) => r,
-        _ => {
-            eprintln!("{flag} expects a probability in [0, 1], got '{v}'");
+            usage();
             std::process::exit(2);
         }
     }
@@ -104,13 +99,37 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let i = args.iter().position(|a| a == flag)?;
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, SimError> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
     args.remove(i);
     if i < args.len() {
-        Some(args.remove(i))
+        Ok(Some(args.remove(i)))
     } else {
-        eprintln!("{flag} requires a value");
-        std::process::exit(2);
+        Err(SimError::InvalidConfig(format!("{flag} requires a value")))
+    }
+}
+
+fn take_parsed<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, SimError> {
+    match take_value(args, flag)? {
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| SimError::InvalidConfig(format!("{flag}: cannot parse '{v}'"))),
+        None => Ok(None),
+    }
+}
+
+fn take_rate(args: &mut Vec<String>, flag: &str) -> Result<Option<f64>, SimError> {
+    match take_parsed::<f64>(args, flag)? {
+        Some(r) if (0.0..=1.0).contains(&r) => Ok(Some(r)),
+        Some(r) => Err(SimError::InvalidConfig(format!(
+            "{flag} expects a probability in [0, 1], got '{r}'"
+        ))),
+        None => Ok(None),
     }
 }

@@ -27,6 +27,8 @@
 //! analysis report the `trace` binary prints alongside its JSONL and
 //! Chrome Trace Event (Perfetto) exports.
 
+pub mod benchrec;
+pub mod explain;
 pub mod extensions;
 pub mod fig1_remote_ratio;
 pub mod fig3_bounds;

@@ -260,6 +260,11 @@ pub struct FleetConfig {
     /// Event-horizon macro-stepping on every host (byte-identical either
     /// way; off only for bisection).
     pub macro_step: bool,
+    /// SLO budget for evacuation latency, in seconds: the burn-rate series
+    /// in the provenance rollup reports each landed evacuation's latency
+    /// as a fraction of this budget. Purely observational — never gates a
+    /// placement decision.
+    pub slo_evac_budget_s: f64,
 }
 
 impl FleetConfig {
@@ -280,6 +285,7 @@ impl FleetConfig {
             host_fault_rate: 0.0,
             fault_seed: 1,
             macro_step: true,
+            slo_evac_budget_s: 60.0,
         }
     }
 
@@ -347,6 +353,11 @@ impl FleetConfig {
         if self.admission.cpu_overcommit <= 0.0 {
             return Err(SimError::InvalidConfig(
                 "cpu_overcommit must be positive".into(),
+            ));
+        }
+        if self.slo_evac_budget_s <= 0.0 || !self.slo_evac_budget_s.is_finite() {
+            return Err(SimError::InvalidConfig(
+                "slo_evac_budget_s must be positive".into(),
             ));
         }
         Ok(())

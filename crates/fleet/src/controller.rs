@@ -51,6 +51,27 @@ pub struct QueuedVm {
     pub displaced_epoch: Option<u64>,
     pub retries: u32,
     pub next_attempt_epoch: u64,
+    /// Provenance span id for this VM's placement journey; 0 when
+    /// provenance is disabled.
+    pub span: u64,
+}
+
+/// Decision-provenance state for a fleet run: controller spans (admission
+/// and evacuation journeys with retry children), the SLO burn-rate series,
+/// and per-source-host burn attribution. Pure observation — enabling it
+/// draws no RNG and perturbs no placement decision, so every other output
+/// stays byte-identical.
+struct FleetProvenance {
+    spans: telemetry::SpanLog,
+    /// Evacuation span id → (source host, rack), for burn attribution at
+    /// landing time. Keyed lookup only — never iterated for output.
+    evac_src: std::collections::HashMap<u64, (usize, usize)>,
+    /// Evac-latency budget consumed per epoch: sum over evacuations landed
+    /// that epoch of `latency_s / budget_s`.
+    burn_by_epoch: Vec<f64>,
+    /// Evacuation-latency seconds attributed to each crashed source host.
+    burned_s_by_host: Vec<f64>,
+    budget_s: f64,
 }
 
 /// Telemetry ids registered once at fleet construction (registration
@@ -116,6 +137,8 @@ pub struct Fleet {
     /// Mirror a host's machine trace/telemetry across rebuilds:
     /// `(host index, trace capacity)`.
     trace_host: Option<(usize, usize)>,
+    /// Decision provenance; `None` (free) unless enabled.
+    prov: Option<FleetProvenance>,
     epochs_run: u64,
 }
 
@@ -152,6 +175,7 @@ impl Fleet {
             registry,
             tele,
             trace_host: None,
+            prov: None,
             epochs_run: 0,
         };
         fleet.place_initial_vms()?;
@@ -202,6 +226,106 @@ impl Fleet {
         }
     }
 
+    /// Enable decision provenance: controller spans for every VM's
+    /// admission/evacuation journey (with retry children), the SLO
+    /// burn-rate series against [`FleetConfig::slo_evac_budget_s`], and
+    /// per-host machine telemetry for the fleet rollup. Call before
+    /// [`Fleet::run`]. Observation only: no RNG draws, no decision
+    /// changes; `FleetReport` stays byte-identical.
+    pub fn enable_provenance(&mut self) {
+        self.prov = Some(FleetProvenance {
+            spans: telemetry::SpanLog::enabled(),
+            evac_src: std::collections::HashMap::new(),
+            burn_by_epoch: vec![0.0; self.cfg.epochs as usize],
+            burned_s_by_host: vec![0.0; self.hosts.len()],
+            budget_s: self.cfg.slo_evac_budget_s,
+        });
+        for host in &mut self.hosts {
+            if let Some(m) = host.machine.as_mut() {
+                m.enable_telemetry();
+            }
+        }
+    }
+
+    /// Controller span log as JSONL; `None` unless
+    /// [`Fleet::enable_provenance`] was called.
+    pub fn spans_jsonl(&self) -> Option<String> {
+        self.prov.as_ref().map(|p| p.spans.to_jsonl())
+    }
+
+    /// Chrome Trace Event export of the controller spans: one track per
+    /// host plus a "queue" track for not-yet-placed work. Open spans are
+    /// closed at the end of the run.
+    pub fn spans_chrome(&self) -> Option<String> {
+        let p = self.prov.as_ref()?;
+        let mut tracks: Vec<(u64, String)> = (0..self.hosts.len())
+            .map(|i| (i as u64, format!("host{i}")))
+            .collect();
+        tracks.push((self.hosts.len() as u64, "queue".into()));
+        let end_us = self.cfg.epoch_len.as_micros() * self.epochs_run;
+        Some(p.spans.to_chrome(&tracks, end_us))
+    }
+
+    /// SLO rollup JSON: the evacuation-latency burn-rate series, per-host
+    /// burn attribution, and the fleet-wide aggregation of every live
+    /// host machine's registry ([`telemetry::rollup`]). Host registries
+    /// die with their machine on crash/rebuild, so the rollup covers the
+    /// *surviving* machine generations — exactly the population still
+    /// serving at the end of the run.
+    pub fn slo_json(&self) -> Option<String> {
+        let p = self.prov.as_ref()?;
+        let total_burned: f64 = p.burned_s_by_host.iter().sum();
+        let burn_by_epoch: Vec<Json> = p
+            .burn_by_epoch
+            .iter()
+            .enumerate()
+            .map(|(e, b)| {
+                Json::Obj(vec![
+                    ("epoch".into(), Json::from(e)),
+                    ("burn".into(), Json::Num(*b)),
+                ])
+            })
+            .collect();
+        let burned_by_host: Vec<Json> = p
+            .burned_s_by_host
+            .iter()
+            .enumerate()
+            .map(|(h, s)| {
+                Json::Obj(vec![
+                    ("host".into(), Json::from(h)),
+                    ("rack".into(), Json::from(self.hosts[h].rack)),
+                    ("burned_s".into(), Json::Num(*s)),
+                ])
+            })
+            .collect();
+        let host_docs: Vec<Json> = self
+            .hosts
+            .iter()
+            .filter_map(|h| h.machine.as_ref())
+            .filter_map(|m| m.telemetry().export())
+            .collect();
+        Some(
+            Json::Obj(vec![
+                ("budget_s".into(), Json::Num(p.budget_s)),
+                ("epochs".into(), Json::from(self.epochs_run)),
+                (
+                    "epoch_len_s".into(),
+                    Json::Num(self.cfg.epoch_len.as_secs_f64()),
+                ),
+                ("total_burned_s".into(), Json::Num(total_burned)),
+                (
+                    "total_burn".into(),
+                    Json::Num(total_burned / p.budget_s),
+                ),
+                ("burn_by_epoch".into(), Json::Arr(burn_by_epoch)),
+                ("burned_by_host".into(), Json::Arr(burned_by_host)),
+                ("hosts_reporting".into(), Json::from(host_docs.len())),
+                ("host_rollup".into(), telemetry::rollup(&host_docs)),
+            ])
+            .to_string_pretty(),
+        )
+    }
+
     pub fn hosts(&self) -> &[Host] {
         &self.hosts
     }
@@ -228,6 +352,13 @@ impl Fleet {
                     m.enable_trace(cap);
                     m.enable_telemetry();
                 }
+            }
+        }
+        // Provenance keeps every host's registry live so the end-of-run
+        // rollup sees the whole surviving fleet.
+        if self.prov.is_some() {
+            if let Some(m) = self.hosts[index].machine.as_mut() {
+                m.enable_telemetry();
             }
         }
         Ok(())
@@ -275,6 +406,7 @@ impl Fleet {
 
     fn landings(&mut self, e: u64) {
         let epoch_s = self.cfg.epoch_len.as_secs_f64();
+        let t_us = self.cfg.epoch_len.as_micros() * e;
         for host in &mut self.hosts {
             if !host.is_up() {
                 continue;
@@ -289,8 +421,31 @@ impl Fleet {
                             self.metrics.evac_latency_s.push(latency);
                             self.registry.inc(self.tele.evacuated, 1);
                             self.registry.observe(self.tele.evac_latency_s, latency);
+                            if let Some(p) = &mut self.prov {
+                                if inc.span != 0 {
+                                    p.spans.annotate(inc.span, "dst_host", Json::from(host.index));
+                                    p.spans.annotate(inc.span, "latency_s", Json::Num(latency));
+                                    p.spans.annotate(inc.span, "outcome", Json::from("landed"));
+                                    p.spans.end(inc.span, t_us);
+                                    if let Some(&(src, _)) = p.evac_src.get(&inc.span) {
+                                        p.burned_s_by_host[src] += latency;
+                                    }
+                                }
+                                if let Some(b) = p.burn_by_epoch.get_mut(e as usize) {
+                                    *b += latency / p.budget_s;
+                                }
+                            }
                         }
-                        None => self.metrics.admitted += 1,
+                        None => {
+                            self.metrics.admitted += 1;
+                            if let Some(p) = &mut self.prov {
+                                if inc.span != 0 {
+                                    p.spans.annotate(inc.span, "dst_host", Json::from(host.index));
+                                    p.spans.annotate(inc.span, "outcome", Json::from("landed"));
+                                    p.spans.end(inc.span, t_us);
+                                }
+                            }
+                        }
                     }
                     host.admit_resident(inc.vm);
                 } else {
@@ -343,13 +498,31 @@ impl Fleet {
             let displaced_now = (vms.len() + in_flight.len()) as u64;
             self.metrics.displaced += displaced_now;
             self.registry.inc(self.tele.displaced, displaced_now);
+            let rack = self.hosts[h].rack;
+            let t_us = self.cfg.epoch_len.as_micros() * e;
             for vm in vms {
+                let span = match &mut self.prov {
+                    Some(p) => {
+                        let sid = p.spans.begin(
+                            &format!("evacuation vm{}", vm.id),
+                            h as u64,
+                            t_us,
+                            None,
+                        );
+                        p.spans.annotate(sid, "src_host", Json::from(h));
+                        p.spans.annotate(sid, "rack", Json::from(rack));
+                        p.evac_src.insert(sid, (h, rack));
+                        sid
+                    }
+                    None => 0,
+                };
                 self.evac_queue.push(QueuedVm {
                     vm,
                     enqueued_epoch: e,
                     displaced_epoch: Some(e),
                     retries: 0,
                     next_attempt_epoch: e,
+                    span,
                 });
             }
             // In-flight copies died with their target; they re-queue as
@@ -357,12 +530,36 @@ impl Fleet {
             // earlier displacement timestamp so latency spans the whole
             // outage.
             for inc in in_flight {
+                let span = match &mut self.prov {
+                    Some(p) => {
+                        // Keep the VM's existing journey span (admission
+                        // spans turn into evacuations here) and mark the
+                        // lost copy as a child.
+                        let sid = if inc.span != 0 {
+                            inc.span
+                        } else {
+                            p.spans.begin(
+                                &format!("evacuation vm{}", inc.vm.id),
+                                h as u64,
+                                t_us,
+                                None,
+                            )
+                        };
+                        let child = p.spans.begin("copy-lost", h as u64, t_us, Some(sid));
+                        p.spans.annotate(child, "reason", Json::from("target-crashed"));
+                        p.spans.end(child, t_us);
+                        p.evac_src.entry(sid).or_insert((h, rack));
+                        sid
+                    }
+                    None => 0,
+                };
                 self.evac_queue.push(QueuedVm {
                     vm: inc.vm,
                     enqueued_epoch: e,
                     displaced_epoch: Some(inc.displaced_epoch.unwrap_or(e)),
                     retries: 0,
                     next_attempt_epoch: e,
+                    span,
                 });
             }
         }
@@ -407,6 +604,23 @@ impl Fleet {
                 .expect("validated non-empty catalog");
             let id = self.next_vm_id;
             self.next_vm_id += 1;
+            let span = match &mut self.prov {
+                Some(p) => {
+                    let sid = p.spans.begin(
+                        &format!("admission vm{id}"),
+                        self.hosts.len() as u64,
+                        self.cfg.epoch_len.as_micros() * e,
+                        None,
+                    );
+                    p.spans.annotate(
+                        sid,
+                        "flavor",
+                        Json::from(self.cfg.flavors[flavor_idx].name),
+                    );
+                    sid
+                }
+                None => 0,
+            };
             self.admit_queue.push(QueuedVm {
                 vm: FleetVm {
                     id,
@@ -418,6 +632,7 @@ impl Fleet {
                 displaced_epoch: None,
                 retries: 0,
                 next_attempt_epoch: e,
+                span,
             });
         }
     }
@@ -437,6 +652,7 @@ impl Fleet {
         let mut kept = Vec::new();
         for mut q in queue {
             if e - q.enqueued_epoch >= adm.queue_timeout_epochs {
+                self.end_span_shed(q.span, e, "shed-timeout");
                 self.shed(is_evac);
                 continue;
             }
@@ -450,9 +666,11 @@ impl Fleet {
                 self.metrics.placement_failures += 1;
                 self.registry.inc(self.tele.placement_failures, 1);
                 if !self.backoff(&mut q, e, &adm) {
+                    self.end_span_shed(q.span, e, "shed-retries");
                     self.shed(is_evac);
                     continue;
                 }
+                self.retry_child(&q, e, "no-host");
                 kept.push(q);
                 continue;
             };
@@ -463,9 +681,11 @@ impl Fleet {
                 self.metrics.migration_failures += 1;
                 self.registry.inc(self.tele.migration_failures, 1);
                 if !self.backoff(&mut q, e, &adm) {
+                    self.end_span_shed(q.span, e, "shed-retries");
                     self.shed(is_evac);
                     continue;
                 }
+                self.retry_child(&q, e, "migration-fault");
                 kept.push(q);
                 continue;
             }
@@ -482,13 +702,52 @@ impl Fleet {
                 copy_epochs *= 2;
                 self.metrics.migrations_delayed += 1;
             }
+            if let Some(p) = &mut self.prov {
+                if q.span != 0 {
+                    // The journey moves onto the destination host's track
+                    // once the copy is accepted.
+                    p.spans.set_track(q.span, h as u64);
+                }
+            }
             self.hosts[h].incoming.push(IncomingVm {
                 vm: q.vm,
                 lands_epoch: e + copy_epochs,
                 displaced_epoch: q.displaced_epoch,
+                span: q.span,
             });
         }
         kept
+    }
+
+    /// Close a journey span for a VM that was shed (timeout or retry
+    /// exhaustion). No-op when provenance is off or the span is 0.
+    fn end_span_shed(&mut self, span: u64, e: u64, reason: &'static str) {
+        if let Some(p) = &mut self.prov {
+            if span != 0 {
+                let t_us = self.cfg.epoch_len.as_micros() * e;
+                p.spans.annotate(span, "outcome", Json::from(reason));
+                p.spans.end(span, t_us);
+            }
+        }
+    }
+
+    /// Record one failed placement attempt as a child span covering the
+    /// backoff window (attempt epoch → next attempt).
+    fn retry_child(&mut self, q: &QueuedVm, e: u64, reason: &'static str) {
+        if let Some(p) = &mut self.prov {
+            if q.span != 0 {
+                let us = self.cfg.epoch_len.as_micros();
+                let child = p.spans.begin(
+                    "retry",
+                    self.hosts.len() as u64,
+                    us * e,
+                    Some(q.span),
+                );
+                p.spans.annotate(child, "reason", Json::from(reason));
+                p.spans.annotate(child, "attempt", Json::from(q.retries as u64));
+                p.spans.end(child, us * q.next_attempt_epoch);
+            }
+        }
     }
 
     /// Exponential backoff; returns `false` when the retry budget is
@@ -847,6 +1106,88 @@ mod tests {
             cfg.epoch_len.as_micros() * cfg.epochs,
         ));
         assert_eq!(fleet_json, machine.metrics().to_json());
+    }
+
+    fn churny_cfg() -> FleetConfig {
+        let mut cfg = small_cfg(4);
+        cfg.epochs = 10;
+        cfg.churn.arrivals_per_epoch = 1.0;
+        cfg.failures.host_crash_rate = 0.2;
+        cfg.failures.recovery_epochs_mean = 2.0;
+        cfg.failures.migration_fail_rate = 0.2;
+        cfg
+    }
+
+    #[test]
+    fn provenance_does_not_change_the_report() {
+        let cfg = churny_cfg();
+        let plain = Fleet::new(cfg.clone()).unwrap().run().unwrap().to_json();
+        let mut probed = Fleet::new(cfg).unwrap();
+        probed.enable_provenance();
+        let report = probed.run().unwrap().to_json();
+        assert_eq!(plain, report, "provenance must be pure observation");
+    }
+
+    #[test]
+    fn provenance_spans_cover_the_vm_journeys() {
+        let mut fleet = Fleet::new(churny_cfg()).unwrap();
+        fleet.enable_provenance();
+        let report = fleet.run().unwrap();
+        assert!(report.metrics.crashes > 0, "scenario must exercise crashes");
+        let jsonl = fleet.spans_jsonl().unwrap();
+        assert!(!jsonl.is_empty());
+        let mut evac = 0;
+        let mut admission = 0;
+        for line in jsonl.lines() {
+            let doc = Json::parse(line).unwrap();
+            let name = doc.get("name").unwrap().as_str().unwrap().to_string();
+            if name.starts_with("evacuation") {
+                evac += 1;
+            }
+            if name.starts_with("admission") {
+                admission += 1;
+            }
+        }
+        assert!(evac > 0, "crashes must open evacuation spans");
+        assert!(admission > 0, "arrivals must open admission spans");
+        // Chrome export and SLO rollup parse and agree on the budget.
+        Json::parse(&fleet.spans_chrome().unwrap()).unwrap();
+        let slo = Json::parse(&fleet.slo_json().unwrap()).unwrap();
+        assert_eq!(slo.get("budget_s").unwrap().as_f64(), Some(60.0));
+        let burn = slo.get("burn_by_epoch").unwrap().as_array().unwrap();
+        assert_eq!(burn.len(), 10, "one burn entry per epoch");
+        if report.metrics.evacuated > 0 {
+            let total: f64 = slo.get("total_burned_s").unwrap().as_f64().unwrap();
+            let expect: f64 =
+                report.metrics.evac_latency_s.mean() * report.metrics.evacuated as f64;
+            assert!(
+                (total - expect).abs() < 1e-6,
+                "burned seconds {total} must match landed evac latency {expect}"
+            );
+        }
+        assert!(
+            slo.get("host_rollup").unwrap().get("counters").is_some(),
+            "host registries rolled up"
+        );
+    }
+
+    #[test]
+    fn provenance_is_deterministic_across_jobs() {
+        let cfg = churny_cfg();
+        let run = |jobs: usize| {
+            parallel::set_jobs(jobs);
+            let mut fleet = Fleet::new(cfg.clone()).unwrap();
+            fleet.enable_provenance();
+            fleet.run().unwrap();
+            let out = (
+                fleet.spans_jsonl().unwrap(),
+                fleet.spans_chrome().unwrap(),
+                fleet.slo_json().unwrap(),
+            );
+            parallel::set_jobs(0);
+            out
+        };
+        assert_eq!(run(1), run(4), "spans and rollups are jobs-invariant");
     }
 
     #[test]

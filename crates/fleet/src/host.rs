@@ -48,6 +48,9 @@ pub struct IncomingVm {
     /// Set when this VM was displaced by a crash (drives the evacuation
     /// latency histogram when it lands).
     pub displaced_epoch: Option<u64>,
+    /// Provenance span id tracking this VM's placement journey; 0 when
+    /// provenance is disabled.
+    pub span: u64,
 }
 
 /// One host of the fleet.
@@ -332,6 +335,7 @@ mod tests {
             vm: test_vm(0),
             lands_epoch: 3,
             displaced_epoch: None,
+            span: 0,
         });
         let reserved = h.capacity(&adm);
         assert!(reserved.free_vcpus < base.free_vcpus);

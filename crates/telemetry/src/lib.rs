@@ -13,7 +13,12 @@
 //!   and exported as one JSON block;
 //! * [`chrome`] — a builder for the Chrome Trace Event format (the JSON
 //!   flavour Perfetto and `chrome://tracing` open directly), used by
-//!   `xen-sim` to render per-PCPU execution tracks.
+//!   `xen-sim` to render per-PCPU execution tracks;
+//! * [`span`] — begin/end intervals with sim-time stamps, parent links,
+//!   and annotations, used by the fleet layer for admission/evacuation
+//!   lifecycles;
+//! * [`rollup`] — per-host → fleet aggregation of registry export
+//!   documents.
 //!
 //! This crate deliberately knows nothing about VCPUs or NUMA: the machine
 //! layer decides *what* to record; this layer guarantees the recording is
@@ -21,6 +26,10 @@
 
 pub mod chrome;
 pub mod registry;
+pub mod rollup;
+pub mod span;
 
 pub use chrome::ChromeTrace;
 pub use registry::{CounterId, GaugeId, HistogramId, Registry};
+pub use rollup::rollup;
+pub use span::{Span, SpanLog};

@@ -1,0 +1,220 @@
+//! Fleet-level metric rollups: aggregate several [`crate::Registry`]
+//! export documents (one per host) into one fleet document.
+//!
+//! Operating on the export JSON rather than live registries keeps the
+//! rollup usable wherever exports are found — end-of-run reports, files on
+//! disk, or hosts whose registries have since been rebuilt. Aggregation is
+//! by metric name: counter totals and gauge values sum, histograms sum
+//! bucket-wise (shapes must match — same `lo`/`hi`/bucket count — or the
+//! histogram is skipped). Per-period series are intentionally dropped:
+//! hosts snapshot on their own clocks, so pointwise sums are not
+//! meaningful across them; the burn-rate series the fleet layer builds is
+//! the cross-host time axis.
+//!
+//! Output key order follows first appearance across the input documents,
+//! so a fixed host order yields byte-identical rollups.
+
+use sim_core::Json;
+
+fn field<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+    obj.get(key)
+}
+
+fn name_of(entry: &Json) -> Option<&str> {
+    field(entry, "name").and_then(|n| n.as_str())
+}
+
+fn num(entry: &Json, key: &str) -> f64 {
+    field(entry, key).and_then(|n| n.as_f64()).unwrap_or(0.0)
+}
+
+/// Sum `key`-valued scalars from `section` entries across all docs,
+/// keyed by metric name in first-appearance order. Returns
+/// `(name, sum, docs_seen)` triples.
+fn sum_scalars(docs: &[Json], section: &str, key: &str) -> Vec<(String, f64, u64)> {
+    let mut out: Vec<(String, f64, u64)> = Vec::new();
+    for doc in docs {
+        let Some(Json::Arr(entries)) = field(doc, section) else {
+            continue;
+        };
+        for e in entries {
+            let Some(name) = name_of(e) else { continue };
+            let v = num(e, key);
+            match out.iter_mut().find(|(n, _, _)| n == name) {
+                Some(slot) => {
+                    slot.1 += v;
+                    slot.2 += 1;
+                }
+                None => out.push((name.to_string(), v, 1)),
+            }
+        }
+    }
+    out
+}
+
+/// Aggregate per-host registry exports (the JSON produced by
+/// [`crate::Registry::export`]) into one fleet-level document:
+///
+/// ```json
+/// {"hosts":N,
+///  "counters":[{"name":..,"total":..},..],
+///  "gauges":[{"name":..,"value":..},..],
+///  "histograms":[{"name":..,"lo":..,"hi":..,"buckets":[..],
+///                 "underflow":..,"overflow":..,"count":..},..]}
+/// ```
+pub fn rollup(docs: &[Json]) -> Json {
+    let counters = sum_scalars(docs, "counters", "total")
+        .into_iter()
+        .map(|(name, total, _)| {
+            Json::Obj(vec![
+                ("name".into(), Json::from(name.as_str())),
+                ("total".into(), Json::Num(total)),
+            ])
+        })
+        .collect();
+    let gauges = sum_scalars(docs, "gauges", "value")
+        .into_iter()
+        .map(|(name, value, _)| {
+            Json::Obj(vec![
+                ("name".into(), Json::from(name.as_str())),
+                ("value".into(), Json::Num(value)),
+            ])
+        })
+        .collect();
+
+    // Histograms: bucket-wise sums, keyed by name; mismatched shapes are
+    // dropped rather than silently mis-added.
+    struct HistAcc {
+        name: String,
+        lo: f64,
+        hi: f64,
+        buckets: Vec<f64>,
+        under: f64,
+        over: f64,
+        count: f64,
+        poisoned: bool,
+    }
+    let mut hists: Vec<HistAcc> = Vec::new();
+    for doc in docs {
+        let Some(Json::Arr(entries)) = field(doc, "histograms") else {
+            continue;
+        };
+        for e in entries {
+            let Some(name) = name_of(e) else { continue };
+            let (lo, hi) = (num(e, "lo"), num(e, "hi"));
+            let buckets: Vec<f64> = match field(e, "buckets") {
+                Some(Json::Arr(b)) => b.iter().filter_map(Json::as_f64).collect(),
+                _ => Vec::new(),
+            };
+            let (under, over, count) = (num(e, "underflow"), num(e, "overflow"), num(e, "count"));
+            match hists.iter_mut().find(|h| h.name == name) {
+                Some(h) => {
+                    if h.lo == lo && h.hi == hi && h.buckets.len() == buckets.len() {
+                        for (acc, b) in h.buckets.iter_mut().zip(&buckets) {
+                            *acc += b;
+                        }
+                        h.under += under;
+                        h.over += over;
+                        h.count += count;
+                    } else {
+                        h.poisoned = true; // shape mismatch: poison this name
+                    }
+                }
+                None => hists.push(HistAcc {
+                    name: name.to_string(),
+                    lo,
+                    hi,
+                    buckets,
+                    under,
+                    over,
+                    count,
+                    poisoned: false,
+                }),
+            }
+        }
+    }
+    let histograms = hists
+        .into_iter()
+        .filter(|h| !h.poisoned)
+        .map(|h| {
+            Json::Obj(vec![
+                ("name".into(), Json::from(h.name.as_str())),
+                ("lo".into(), Json::Num(h.lo)),
+                ("hi".into(), Json::Num(h.hi)),
+                (
+                    "buckets".into(),
+                    Json::Arr(h.buckets.into_iter().map(Json::Num).collect()),
+                ),
+                ("underflow".into(), Json::Num(h.under)),
+                ("overflow".into(), Json::Num(h.over)),
+                ("count".into(), Json::Num(h.count)),
+            ])
+        })
+        .collect();
+
+    Json::Obj(vec![
+        ("hosts".into(), Json::from(docs.len())),
+        ("counters".into(), Json::Arr(counters)),
+        ("gauges".into(), Json::Arr(gauges)),
+        ("histograms".into(), Json::Arr(histograms)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use sim_core::SimTime;
+
+    fn export_of(vals: &[(u64, f64)]) -> Json {
+        let mut r = Registry::new();
+        r.set_enabled(true);
+        let c = r.counter("steals");
+        let h = r.histogram("lat", 0.0, 10.0, 5);
+        for &(inc, obs) in vals {
+            r.inc(c, inc);
+            r.observe(h, obs);
+        }
+        r.snapshot(SimTime::from_micros(1_000_000));
+        r.export().expect("enabled registry exports")
+    }
+
+    #[test]
+    fn sums_counters_and_histograms_across_hosts() {
+        let docs = vec![export_of(&[(3, 1.0)]), export_of(&[(4, 9.5)])];
+        let roll = rollup(&docs);
+        assert_eq!(roll.get("hosts").and_then(Json::as_u64), Some(2));
+        let counters = match roll.get("counters") {
+            Some(Json::Arr(v)) => v.clone(),
+            _ => panic!("counters array"),
+        };
+        assert_eq!(counters[0].get("name").and_then(Json::as_str), Some("steals"));
+        assert_eq!(counters[0].get("total").and_then(Json::as_u64), Some(7));
+        let hists = match roll.get("histograms") {
+            Some(Json::Arr(v)) => v.clone(),
+            _ => panic!("histograms array"),
+        };
+        assert_eq!(hists[0].get("count").and_then(Json::as_u64), Some(2));
+        let buckets = match hists[0].get("buckets") {
+            Some(Json::Arr(b)) => b.iter().filter_map(Json::as_u64).collect::<Vec<_>>(),
+            _ => panic!("buckets"),
+        };
+        // 1.0 falls in bucket 0, 9.5 in bucket 4 (width 2).
+        assert_eq!(buckets, vec![1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn empty_input_rolls_up_to_empty_sections() {
+        let roll = rollup(&[]);
+        assert_eq!(
+            roll.to_string(),
+            "{\"hosts\":0,\"counters\":[],\"gauges\":[],\"histograms\":[]}"
+        );
+    }
+
+    #[test]
+    fn rollup_is_deterministic() {
+        let docs = vec![export_of(&[(1, 2.0)]), export_of(&[(2, 3.0)])];
+        assert_eq!(rollup(&docs).to_string(), rollup(&docs).to_string());
+    }
+}

@@ -24,6 +24,7 @@ pub mod machine;
 pub mod metrics;
 pub mod pcpu;
 pub mod policy;
+pub mod provenance;
 pub mod runqueue;
 pub mod trace;
 pub mod vcpu;
@@ -33,10 +34,11 @@ pub use credit::CreditPolicy;
 pub use machine::{Machine, MachineBuilder, MachineConfig};
 pub use metrics::{FaultMetrics, RunMetrics, VmMetrics};
 pub use policy::{
-    AnalyzerView, DegradeReport, PageMigration, PartitionPlan, PeriodFeedback, SchedPolicy,
-    StealContext, VcpuAssignment, VcpuView,
+    AnalyzerView, DegradeReport, PageMigration, PartitionNote, PartitionPlan, PeriodFeedback,
+    SchedPolicy, StealContext, VcpuAssignment, VcpuView,
 };
 pub use export::{to_chrome, to_jsonl, ChromeContext};
+pub use provenance::{Decision, DecisionRecord, ProvenanceLog, StealCandidate};
 pub use sim_core::{FaultConfig, FaultInjector};
 pub use trace::{Event, FaultEvent, TraceLog};
 pub use vcpu::{Priority, VcpuState};

@@ -275,6 +275,10 @@ pub struct Machine {
     /// Whether the policy reported fallback mode active at the previous
     /// period, for edge-detecting degrade/recover transitions.
     was_fallback: bool,
+    /// Decision-provenance log: candidate sets, score components, and the
+    /// rule behind every placement/steal/partition/degrade decision.
+    /// Disabled by default (one branch per site).
+    provenance: crate::provenance::ProvenanceLog,
 }
 
 /// Handles to the machine's registered telemetry metrics. The macro-batch
@@ -414,6 +418,7 @@ impl Machine {
             telemetry,
             tids,
             was_fallback: false,
+            provenance: crate::provenance::ProvenanceLog::disabled(),
             engine: MemoryEngine::new(&topo),
             sampler: PeriodSampler::new(num_vcpus, num_nodes, cfg.sample_period),
             overhead: OverheadTracker::new(cfg.overhead),
@@ -543,11 +548,35 @@ impl Machine {
         )
     }
 
+    /// Enable decision-provenance recording, keeping the most recent
+    /// `capacity` records, and switch the policy into explain mode so it
+    /// decomposes its choices (rule names, partition notes). Neither side
+    /// changes any decision: runs with provenance on are byte-identical in
+    /// every metric, CSV, and trace output to runs with it off.
+    pub fn enable_provenance(&mut self, capacity: usize) {
+        self.provenance = crate::provenance::ProvenanceLog::with_capacity(capacity);
+        self.policy.set_explain(true);
+    }
+
+    /// The provenance log (empty unless [`Machine::enable_provenance`] was
+    /// called).
+    pub fn provenance(&self) -> &crate::provenance::ProvenanceLog {
+        &self.provenance
+    }
+
+    /// Serialize the provenance log as JSON Lines (one decision per line).
+    pub fn provenance_jsonl(&self) -> String {
+        crate::provenance::to_jsonl(&self.provenance)
+    }
+
     /// Replace the scheduling policy at runtime (used by experiments that
     /// warm the system up under the stock Credit scheduler before
     /// switching to the policy under test, as one would on a live host).
     pub fn set_policy(&mut self, policy: Box<dyn SchedPolicy>) {
         self.policy = policy;
+        if self.provenance.is_enabled() {
+            self.policy.set_explain(true);
+        }
     }
 
     /// Zero all measurement state (but not scheduler/memory state): starts
@@ -1025,6 +1054,22 @@ impl Machine {
                         .record(now, crate::trace::Event::CreditBoost { vcpu: vid, pcpu: target });
                 }
             }
+            if self.provenance.is_enabled() {
+                let num_candidates = self
+                    .pcpus
+                    .iter()
+                    .filter(|p| self.vcpus[i].allowed_on(p.node))
+                    .count();
+                self.provenance.record(
+                    now,
+                    "first-idle-least-loaded",
+                    crate::provenance::Decision::WakePlacement {
+                        vcpu: vid,
+                        chosen: target,
+                        num_candidates,
+                    },
+                );
+            }
         }
     }
 
@@ -1232,7 +1277,47 @@ impl Machine {
             pressure: &self.pressure,
             would_idle,
         };
-        self.policy.steal(ctx)
+        if !self.provenance.is_enabled() {
+            return self.policy.steal(ctx);
+        }
+        // Provenance path: identical call (the context is a cheap by-ref
+        // copy), then flatten the candidate set with its score components
+        // and ask the policy which rule fired. Records only decisions that
+        // had at least one candidate; the all-empty case is already
+        // counted by `steal_attempts_empty`.
+        let choice = self.policy.steal(ctx.clone());
+        let thief_node_of = |p: PcpuId| self.topo.node_of_pcpu(p);
+        let mut candidates: Vec<crate::provenance::StealCandidate> = Vec::new();
+        for (pid, workload, cands) in &victims {
+            let node = thief_node_of(*pid);
+            let dist = self.topo.distance().get(node, thief_node);
+            for &v in cands {
+                candidates.push(crate::provenance::StealCandidate {
+                    pcpu: *pid,
+                    vcpu: v,
+                    node,
+                    dist,
+                    workload: *workload,
+                    pressure: self.pressure[v.index()],
+                    prio: self.vcpus[v.index()].priority,
+                });
+            }
+        }
+        if !candidates.is_empty() {
+            let rule = self.policy.explain_steal(&ctx, &choice);
+            self.provenance.record(
+                self.clock.now(),
+                rule,
+                crate::provenance::Decision::Steal {
+                    thief,
+                    thief_node,
+                    would_idle,
+                    chosen: choice,
+                    candidates,
+                },
+            );
+        }
+        choice
     }
 
     fn switch_in(&mut self, pid: PcpuId, vcpu: VcpuId) {
@@ -1296,6 +1381,18 @@ impl Machine {
     fn enqueue_on_node(&mut self, vcpu: VcpuId, node: NodeId) {
         let pcpus = self.topo.pcpus_of_node(node);
         let target = pcpus[self.rng.index(pcpus.len()).expect("every node has PCPUs")];
+        if self.provenance.is_enabled() {
+            self.provenance.record(
+                self.clock.now(),
+                "uniform-random",
+                crate::provenance::Decision::Placement {
+                    vcpu,
+                    node,
+                    chosen: target,
+                    num_candidates: pcpus.len(),
+                },
+            );
+        }
         self.vcpus[vcpu.index()].queued_on = Some(target);
         self.pcpus[target.index()].queue.push(vcpu);
     }
@@ -1515,6 +1612,13 @@ impl Machine {
                 self.trace
                     .record(now, crate::trace::Event::Degrade { fallback: true });
             }
+            if self.provenance.is_enabled() {
+                self.provenance.record(
+                    now,
+                    "confidence-dark-streak",
+                    crate::provenance::Decision::Degrade { fallback: true },
+                );
+            }
         }
         if self.was_fallback && !report.fallback_active {
             self.telemetry.inc(self.tids.c_degrade_recover, 1);
@@ -1522,8 +1626,25 @@ impl Machine {
                 self.trace
                     .record(now, crate::trace::Event::Degrade { fallback: false });
             }
+            if self.provenance.is_enabled() {
+                self.provenance.record(
+                    now,
+                    "confidence-recovered",
+                    crate::provenance::Decision::Degrade { fallback: false },
+                );
+            }
         }
         self.was_fallback = report.fallback_active;
+
+        // Partition provenance: the policy's per-assignment notes (explain
+        // mode only) become decision records at the period instant. Notes
+        // never affect application below.
+        if self.provenance.is_enabled() {
+            for note in &plan.notes {
+                self.provenance
+                    .record(now, note.rule, crate::provenance::decision_from_note(note));
+            }
+        }
 
         for a in plan.assignments {
             let idx = a.vcpu.index();
@@ -1747,6 +1868,17 @@ impl Machine {
                     self.trace.record(
                         now,
                         crate::trace::Event::PageMigration {
+                            vcpu: pm.vcpu,
+                            node: pm.to_node,
+                            bytes: moved,
+                        },
+                    );
+                }
+                if self.provenance.is_enabled() {
+                    self.provenance.record(
+                        now,
+                        "budget-grant",
+                        crate::provenance::Decision::PageMigration {
                             vcpu: pm.vcpu,
                             node: pm.to_node,
                             bytes: moved,
@@ -2184,6 +2316,45 @@ mod feature_tests {
             pm_ratio < base_ratio,
             "page migration should cut remote accesses: {pm_ratio} vs {base_ratio}"
         );
+    }
+
+    #[test]
+    fn provenance_records_decisions_without_changing_the_run() {
+        let mut plain = crate::machine::tests_helpers::basic_machine_pub();
+        let mut probed = crate::machine::tests_helpers::basic_machine_pub();
+        probed.enable_provenance(100_000);
+        plain.run(SimDuration::from_secs(1));
+        probed.run(SimDuration::from_secs(1));
+        // Recording is pure observation: every metric matches the plain run.
+        assert_eq!(plain.metrics().steals, probed.metrics().steals);
+        assert_eq!(plain.metrics().migrations, probed.metrics().migrations);
+        for (a, b) in plain.metrics().per_vm.iter().zip(&probed.metrics().per_vm) {
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.remote_accesses, b.remote_accesses);
+        }
+        assert!(plain.provenance().is_empty(), "disabled log stays empty");
+        assert!(!probed.provenance().is_empty(), "decisions recorded");
+        let kinds: std::collections::HashSet<&str> = probed
+            .provenance()
+            .iter()
+            .map(|r| r.decision.kind())
+            .collect();
+        assert!(
+            kinds.contains("placement") || kinds.contains("wake_placement"),
+            "placement decisions present: {kinds:?}"
+        );
+        assert!(kinds.contains("steal"), "steal decisions present: {kinds:?}");
+        // Every JSONL line round-trips through the shared parser and
+        // carries the common fields.
+        let jsonl = probed.provenance_jsonl();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            let doc = sim_core::Json::parse(line).expect("valid decision json");
+            assert!(doc.get("t_us").is_some(), "t_us in {line}");
+            assert!(doc.get("seq").is_some(), "seq in {line}");
+            assert!(doc.get("kind").is_some(), "kind in {line}");
+            assert!(doc.get("rule").is_some(), "rule in {line}");
+        }
     }
 }
 

@@ -101,6 +101,21 @@ pub struct DegradeReport {
     pub migration_retries: u32,
 }
 
+/// Provenance for one partitioning assignment: which rule placed the VCPU
+/// and what the per-node alternatives looked like when it fired. Policies
+/// fill these only in explain mode ([`SchedPolicy::set_explain`]); the
+/// machine copies them into its decision log and they never influence the
+/// schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionNote {
+    pub vcpu: VcpuId,
+    pub node: Option<NodeId>,
+    /// Stable machine-readable rule name (e.g. "min-load-local-group").
+    pub rule: &'static str,
+    /// Candidate set at decision time: `(node index, load)` per node.
+    pub candidates: Vec<(usize, u64)>,
+}
+
 /// The outcome of a policy's sampling-period pass.
 #[derive(Debug, Clone, Default)]
 pub struct PartitionPlan {
@@ -115,6 +130,9 @@ pub struct PartitionPlan {
     /// Degradation bookkeeping for this period (all-default for policies
     /// without degradation handling).
     pub report: DegradeReport,
+    /// Per-assignment provenance, present only in explain mode and only
+    /// for policies that produce it. Never affects plan application.
+    pub notes: Vec<PartitionNote>,
 }
 
 impl PartitionPlan {
@@ -166,6 +184,26 @@ pub trait SchedPolicy: Send {
     /// VCPUs' updates; vProbe's per-VCPU state needs no such lock.
     fn tick_overhead_us(&self, _runnable_vcpus: usize) -> f64 {
         0.0
+    }
+
+    /// Toggle explain mode: when on, the policy fills
+    /// [`PartitionPlan::notes`] and answers [`SchedPolicy::explain_steal`]
+    /// with the specific rule that fired. Explain mode must never change
+    /// any decision — the machine enables it together with its provenance
+    /// log and the byte-identity tests pin the invariant. The default
+    /// ignores the toggle (policies without provenance support).
+    fn set_explain(&mut self, _on: bool) {}
+
+    /// Name the rule that produced `choice` for this steal context. Called
+    /// by the machine only when provenance recording is enabled, after
+    /// [`SchedPolicy::steal`] returned. The default covers policies that
+    /// don't decompose their choice.
+    fn explain_steal(
+        &self,
+        _ctx: &StealContext<'_>,
+        _choice: &Option<(PcpuId, VcpuId)>,
+    ) -> &'static str {
+        "policy-default"
     }
 }
 
