@@ -11,6 +11,8 @@
 //! repro fig-faults     # the robustness sweep (rates swept internally)
 //! repro fig-fleet      # the fleet sweep (churn + host failures at scale)
 //! repro --no-macro-step all   # reference per-quantum stepper (bisection)
+//! repro --reference-engine all # frozen pre-rewrite memory engine
+//! repro --approx-engine all    # quantized fast engine (bounded error)
 //! ```
 //!
 //! Every invocation also records per-artifact and total wall-clock time in
@@ -21,6 +23,7 @@
 use experiments::benchrec;
 use experiments::report::Table;
 use experiments::runner::RunOptions;
+use mem_model::EngineSelect;
 use experiments::{
     fig1_remote_ratio, fig3_bounds, fig4_spec, fig5_npb, fig6_memcached, fig7_redis, fig8_period,
     fig_faults, fig_fleet, parallel, table3_overhead,
@@ -53,10 +56,17 @@ fn main() {
     let fault_rate = take_value(&mut args, "--fault-rate").map(|v| parse_rate(&v, "--fault-rate"));
     let fault_seed = take_value(&mut args, "--fault-seed").map(|v| parse_num(&v, "--fault-seed"));
     let no_macro = take_flag(&mut args, "--no-macro-step");
+    let reference_engine = take_flag(&mut args, "--reference-engine");
+    let approx_engine = take_flag(&mut args, "--approx-engine");
+    if reference_engine && approx_engine {
+        eprintln!("--reference-engine and --approx-engine are mutually exclusive");
+        std::process::exit(2);
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: repro [--quick] [--csv DIR] [--jobs N] [--seed N] \
-             [--fault-rate R] [--fault-seed N] [--no-macro-step] all | {}",
+             [--fault-rate R] [--fault-seed N] [--no-macro-step] \
+             [--reference-engine | --approx-engine] all | {}",
             ARTIFACTS.join(" | ")
         );
         std::process::exit(2);
@@ -93,6 +103,13 @@ fn main() {
         opts.seed = s;
     }
     opts.macro_step = !no_macro;
+    opts.engine = if reference_engine {
+        EngineSelect::Reference
+    } else if approx_engine {
+        EngineSelect::Approx
+    } else {
+        EngineSelect::Exact
+    };
     if fault_rate.is_some() || fault_seed.is_some() {
         let cfg = FaultConfig::uniform(fault_rate.unwrap_or(0.0), fault_seed.unwrap_or(1));
         if let Err(e) = cfg.validate() {
@@ -129,7 +146,7 @@ fn main() {
     let total_s = total.elapsed().as_secs_f64();
     let effective_jobs = parallel::configured_jobs();
     eprintln!("total wall time: {total_s:.2} s ({effective_jobs} jobs)");
-    record_bench(effective_jobs, quick, !no_macro, &timings, total_s);
+    record_bench(effective_jobs, quick, !no_macro, opts.engine, &timings, total_s);
     if !failed.is_empty() {
         eprintln!("failed artifacts: {}", failed.join(", "));
         std::process::exit(1);
@@ -203,9 +220,17 @@ fn write_outputs(
 }
 
 /// Merge this run's wall-clock numbers into `BENCH_repro.json`, keyed by
-/// job count and stepping mode, so sequential/parallel and
-/// macro/per-quantum timings of the same selection sit side by side.
-fn record_bench(jobs: usize, quick: bool, macro_step: bool, timings: &[(String, f64)], total_s: f64) {
+/// job count, stepping mode, and engine, so sequential/parallel,
+/// macro/per-quantum, and exact/approx/reference timings of the same
+/// selection sit side by side.
+fn record_bench(
+    jobs: usize,
+    quick: bool,
+    macro_step: bool,
+    engine: EngineSelect,
+    timings: &[(String, f64)],
+    total_s: f64,
+) {
     let artifacts = Json::Obj(
         timings
             .iter()
@@ -216,14 +241,19 @@ fn record_bench(jobs: usize, quick: bool, macro_step: bool, timings: &[(String, 
         ("jobs".into(), Json::from(jobs)),
         ("quick".into(), Json::from(quick)),
         ("macro_step".into(), Json::from(macro_step)),
+        ("engine".into(), Json::Str(engine.name().into())),
         ("total_wall_s".into(), Json::Num(benchrec::round3(total_s))),
         ("artifact_wall_s".into(), artifacts),
     ]);
-    let key = if macro_step {
+    let mut key = if macro_step {
         format!("jobs_{jobs}")
     } else {
         format!("jobs_{jobs}_nomacro")
     };
+    if engine != EngineSelect::Exact {
+        key.push('_');
+        key.push_str(engine.name());
+    }
     benchrec::record(benchrec::BENCH_FILE, &key, entry);
 }
 

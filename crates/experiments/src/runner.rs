@@ -1,6 +1,6 @@
 //! Shared experiment machinery: the paper's §V-A testbed and scheduler set.
 
-use mem_model::AllocPolicy;
+use mem_model::{AllocPolicy, EngineSelect};
 use numa_topo::presets;
 use sim_core::{FaultConfig, SimDuration, SimError};
 use vprobe::{variants, Bounds, BrmPolicy};
@@ -91,6 +91,10 @@ pub struct RunOptions {
     /// either way). `--no-macro-step` on the binaries clears it so
     /// regressions can be bisected against the reference stepper.
     pub macro_step: bool,
+    /// Memory-engine implementation (default exact incremental;
+    /// `--reference-engine` / `--approx-engine` on the binaries select the
+    /// frozen pre-rewrite solver or the quantized fast path).
+    pub engine: EngineSelect,
 }
 
 impl Default for RunOptions {
@@ -103,6 +107,7 @@ impl Default for RunOptions {
             warmup: SimDuration::from_secs(10),
             faults: FaultConfig::none(),
             macro_step: true,
+            engine: EngineSelect::Exact,
         }
     }
 }
@@ -192,6 +197,7 @@ pub fn build_machine(
         .seed(opts.seed)
         .faults(opts.faults.clone())
         .macro_step(opts.macro_step)
+        .engine(opts.engine)
         .add_vm(vm1)
         .add_vm(vm2)
         .add_vm(vm3)

@@ -18,11 +18,50 @@
 //! quantum solves that fixed point by damped iteration — a lagged update
 //! oscillates between idle and saturated when the workload is near the
 //! knee of the queueing curve.
+//!
+//! # Data-oriented incremental solve
+//!
+//! The engine keeps its hot state as struct-of-arrays ([`HotState`]): one
+//! dense array per input field and per derived term, mirroring the last
+//! step's inputs bit for bit. Every `step` first diffs the incoming usages
+//! against that mirror, which drives three levels of work avoidance — all
+//! bit-exact, because each skipped computation is a pure function of
+//! inputs that were verified (bitwise) unchanged:
+//!
+//! * **per-node LLC dirty bits** — a node's shared-cache occupancy solve
+//!   re-runs only when some co-runner on that node changed its intensity,
+//!   runtime share, or miss curve; otherwise the cached per-slot raw miss
+//!   rates stand (the solve is a pure per-node function of exactly those
+//!   inputs);
+//! * **per-slot derived/output reuse** — a slot whose inputs *and* solved
+//!   miss rate are bitwise unchanged keeps its derived columns, and —
+//!   when the stored outputs are known consistent with the warm-start
+//!   multipliers — skips the first fixed-point round entirely, replaying
+//!   its stored demand contribution instead (same values, same order:
+//!   same accumulator bits);
+//! * **whole-step skip** — when every input is bitwise unchanged *and* the
+//!   previous solve was stationary (the damped update left every
+//!   multiplier bitwise unchanged), re-running would replay the identical
+//!   trajectory, so the cached outputs are rematerialized without solving
+//!   (the same argument [`MemoryEngine::step_batch`] already relied on).
+//!
+//! Every solve warm-starts from the previous quantum's multipliers, as the
+//! original engine did. Exact mode ([`EngineMode::Exact`], the default) is
+//! byte-identical to [`crate::reference::ReferenceEngine`] — pinned by
+//! equivalence proptests here and a scheduler×seed×fault byte-equality
+//! matrix at machine level. [`EngineMode::Approx`] additionally quantizes
+//! intensity inputs *and* solved miss rates onto a relative grid (so the
+//! dirty bits, the per-slot replay, and a small per-node solve memo all
+//! fire under continuous intensity noise) and exits the fixed point early
+//! on a relative tolerance, snapping the sub-tolerance nudge back so the
+//! multipliers stay piecewise-constant; both reassociate rounding and are
+//! therefore opt-in behind the machine config flag, with a documented
+//! tolerance test.
 
-use crate::curve::MissCurve;
+use crate::curve::{rel_grid_mask, MissCurve};
 use crate::imc::ImcModel;
 use crate::latency::LatencyParams;
-use crate::llc::{LlcDemand, LlcModel, LlcOccupancy, LlcScratch};
+use crate::llc::{fingerprint_u64, LlcDemand, LlcModel, LlcOccupancy, LlcScratch, LlcSolveCache};
 use crate::qpi::QpiModel;
 use numa_topo::{NodeId, Topology};
 use sim_core::SimDuration;
@@ -87,7 +126,7 @@ pub struct QuantumUsage<'a> {
 impl QuantumUsage<'_> {
     /// The effective LLC references per thousand instructions this
     /// quantum: the profile's RPTI under the momentary intensity factor.
-    fn rpti(&self) -> f64 {
+    pub(crate) fn rpti(&self) -> f64 {
         self.profile.rpti * self.rpti_scale
     }
 }
@@ -150,57 +189,124 @@ impl Default for EngineParams {
     }
 }
 
-/// Reusable buffers for [`MemoryEngine::step`]. `step` runs once per
-/// simulated quantum (thousands of times per second of simulated time), so
-/// its working vectors are kept across calls instead of reallocated.
+/// Arithmetic regime of the solve.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum EngineMode {
+    /// Bit-identical to the pre-rewrite engine (the default). Work is
+    /// skipped only where the skipped computation's inputs are bitwise
+    /// unchanged, so every emitted byte matches the reference.
+    #[default]
+    Exact,
+    /// Trades bounded model error for speed: intensity inputs snap onto a
+    /// relative grid (turning continuous burstiness noise into repeats the
+    /// dirty bits and solve memo can catch) and the fixed point exits once
+    /// multipliers move less than a relative tolerance. Opt-in; not
+    /// byte-identical to exact mode.
+    Approx(ApproxParams),
+}
+
+/// Knobs for [`EngineMode::Approx`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxParams {
+    /// Width of the relative intensity quantization grid, realized by
+    /// mantissa truncation ([`crate::curve::quantize_rel`]). 0.05 keeps
+    /// five mantissa bits: effective RPTI snaps onto a geometric ladder
+    /// with ≤ 3.2 % spacing — a perturbation comparable to the ±σ
+    /// intensity noise it is absorbing. 0 disables quantization.
+    pub intensity_grid: f64,
+    /// Relative multiplier movement below which a fixed-point round counts
+    /// as converged; the sub-tolerance nudge is rolled back, so the stored
+    /// multipliers lag the moving fixed point by at most this much. 0
+    /// keeps the exact bitwise-unchanged criterion.
+    pub fp_tolerance: f64,
+}
+
+impl Default for ApproxParams {
+    fn default() -> Self {
+        ApproxParams {
+            intensity_grid: 0.05,
+            fp_tolerance: 0.05,
+        }
+    }
+}
+
+/// Struct-of-arrays hot state: the bitwise input mirror, the derived
+/// round-invariant terms, the per-round output columns, and the solve
+/// scratch. One array per field, indexed by usage slot; `dist` and
+/// `out_node_acc` are `len × n` row-major matrices.
 #[derive(Debug, Clone, Default)]
-struct StepScratch {
-    per_node: Vec<Vec<usize>>,
-    miss_rate: Vec<f64>,
-    demands: Vec<LlcDemand>,
-    node_demand_bytes: Vec<f64>,
-    pair_traffic_bytes: Vec<f64>,
-    node_accesses: Vec<u64>,
-    /// Per-usage values that do not change across fixed-point rounds,
-    /// hoisted out of the round loop (identical expressions, so identical
-    /// bits — pinned by the golden machine test).
-    inv: Vec<UsageInv>,
-    /// Flat list of each usage's nonzero access-distribution entries;
-    /// `nz_start[i]..nz_start[i+1]` indexes usage `i`'s slice.
-    nz: Vec<NzFrac>,
-    nz_start: Vec<u32>,
-    /// Per-round miss-latency matrix, row-major `[run_node][home]`:
-    /// `LatencyParams::miss_cycles` is a pure function of the home node,
-    /// the pair and the current multipliers, so it is evaluated n² times
-    /// per round instead of once per usage × home.
+struct HotState {
+    len: usize,
+    quantum_us: f64,
+    /// The mirror holds a real previous step (false until the first solve
+    /// and after an invalidation).
+    valid: bool,
+    // Input mirror, diffed bitwise against each step's usages.
+    key: Vec<u64>,
+    node: Vec<u32>,
+    share: Vec<f64>,
+    /// Effective RPTI (`profile.rpti * rpti_scale`), after quantization in
+    /// approx mode.
+    rpti_eff: Vec<f64>,
+    boost: Vec<f64>,
+    overhead: Vec<f64>,
+    cv_min: Vec<f64>,
+    cv_max: Vec<f64>,
+    cv_ws: Vec<u64>,
+    mlp: Vec<f64>,
+    base_cpi: Vec<f64>,
+    dist: Vec<f64>,
+    // Derived terms, refreshed only when their inputs changed.
+    /// Raw shared-LLC miss rate per slot (pre cold-boost), the cached
+    /// output of the per-node occupancy solve.
+    occ_miss: Vec<f64>,
+    m: Vec<f64>,
+    refs_per_instr: Vec<f64>,
+    hit_term: Vec<f64>,
+    mlp_eff: Vec<f64>,
+    /// `refs_per_instr / mlp_eff`, filled in approx mode only: hoisting
+    /// the division out of the fixed-point rounds reassociates the CPI
+    /// expression, so exact mode keeps dividing per round instead.
+    refs_over_mlp: Vec<f64>,
+    cycles: Vec<f64>,
+    /// Per node: member slots in input order (the LLC solve order).
+    members: Vec<Vec<u32>>,
+    /// Per node: some member's LLC-relevant inputs changed since its last
+    /// occupancy solve.
+    node_dirty: Vec<bool>,
+    /// Per slot: some input or the slot's solved miss rate changed bitwise
+    /// since the stored output columns were computed. Cleared once the
+    /// step's final round has (re)computed every changed slot; drives the
+    /// per-slot output replay in the fixed-point rounds.
+    slot_changed: Vec<bool>,
+    /// Slots with nonzero effective RPTI — the only ones whose outputs can
+    /// depend on the contention multipliers, and therefore the only ones
+    /// the fixed-point rounds re-evaluate (see the derived pass).
+    active: Vec<u32>,
+    // Output columns of the most recent round (the final round survives
+    // and is materialized into `VcpuQuantumResult`s once per step).
+    out_instructions: Vec<u64>,
+    out_cpi: Vec<f64>,
+    out_refs: Vec<u64>,
+    out_misses: Vec<u64>,
+    out_local: Vec<u64>,
+    out_remote: Vec<u64>,
+    out_node_acc: Vec<u64>,
+    // Solve scratch.
+    cur_imc: Vec<f64>,
+    cur_qpi: Vec<f64>,
+    node_demand: Vec<f64>,
+    pair_traffic: Vec<f64>,
     miss_cycles_matrix: Vec<f64>,
+    demands: Vec<LlcDemand>,
     llc_occ: Vec<LlcOccupancy>,
     llc_scratch: LlcScratch,
-}
-
-/// Round-invariant per-usage terms of the fixed-point solve.
-#[derive(Debug, Clone, Copy, Default)]
-struct UsageInv {
-    run_node: u32,
-    /// `rpti / 1000`.
-    refs_per_instr: f64,
-    /// Post-sharing, post-warmup miss rate.
-    m: f64,
-    /// `(1 - m) * llc_hit_cycles`.
-    hit_term: f64,
-    mlp: f64,
-    base_cpi: f64,
-    /// Usable core cycles this quantum.
-    cycles: f64,
-}
-
-/// One nonzero entry of a usage's node-access distribution.
-#[derive(Debug, Clone, Copy)]
-struct NzFrac {
-    /// Row-major `run_node * n + home` pair index.
-    pair: u32,
-    home: u32,
-    frac: f64,
+    memo_miss: Vec<f64>,
+    // Pre-update multipliers of the current round, kept only in approx
+    // mode so a tolerance exit can discard the final sub-tolerance nudge
+    // (see the fixed-point loop).
+    prev_imc: Vec<f64>,
+    prev_qpi: Vec<f64>,
 }
 
 /// The composed memory-system model for one machine.
@@ -218,7 +324,12 @@ pub struct MemoryEngine {
     freq_mhz: u32,
     imc_mult: Vec<f64>,
     qpi_mult: Vec<f64>, // per pair, row-major
-    scratch: StepScratch,
+    mode: EngineMode,
+    /// Per-node memo of recent occupancy solves, consulted in approx mode
+    /// only (exact inputs are continuous and would never repeat except
+    /// consecutively, which the dirty bits already cover).
+    llc_memo: Vec<LlcSolveCache>,
+    hot: HotState,
     /// Pooled results of the most recent solve (element buffers reused
     /// across quanta instead of reallocated).
     results: Vec<VcpuQuantumResult>,
@@ -226,12 +337,25 @@ pub struct MemoryEngine {
     /// bitwise unchanged — i.e. the fixed point has converged, so an
     /// identical-input step would reproduce identical results.
     stationary: bool,
+    /// Whether the stored output columns were computed with multipliers
+    /// bitwise equal to the stored `imc_mult`/`qpi_mult` (true on a
+    /// `!changed` or tolerance exit, false when the round cap fired with
+    /// the last update still moving). Gates the per-slot output replay:
+    /// only then does "inputs unchanged" imply "outputs unchanged".
+    out_consistent: bool,
 }
 
 impl MemoryEngine {
     /// Build the engine from a validated topology with default calibration.
     pub fn new(topo: &Topology) -> Self {
         MemoryEngine::with_params(topo, EngineParams::default())
+    }
+
+    /// Build with an explicit arithmetic mode.
+    pub fn with_mode(topo: &Topology, mode: EngineMode) -> Self {
+        let mut e = MemoryEngine::with_params(topo, EngineParams::default());
+        e.mode = mode;
+        e
     }
 
     /// Build with explicit calibration parameters.
@@ -258,16 +382,11 @@ impl MemoryEngine {
                     continue;
                 }
                 // Parallel links between the pair share the traffic.
-                let links: Vec<_> = topo
-                    .links()
-                    .iter()
-                    .filter(|l| l.connects(a, b))
-                    .collect();
+                let links: Vec<_> = topo.links().iter().filter(|l| l.connects(a, b)).collect();
                 if let Some(first) = links.first() {
                     let idx = a.index() * n + b.index();
                     qpi[idx] = Some(QpiModel::new(
-                        ((first.bandwidth_bytes_per_s as f64) * params.sustained_qpi_frac)
-                            as u64,
+                        ((first.bandwidth_bytes_per_s as f64) * params.sustained_qpi_frac) as u64,
                         links.len() as u32,
                     ));
                     hop_latency_ns[idx] = first.hop_latency_ns;
@@ -287,14 +406,43 @@ impl MemoryEngine {
             freq_mhz: topo.freq_mhz(),
             imc_mult: vec![1.0; n],
             qpi_mult: vec![1.0; n * n],
-            scratch: StepScratch::default(),
+            mode: EngineMode::Exact,
+            llc_memo: vec![LlcSolveCache::default(); n],
+            hot: HotState::default(),
             results: Vec::new(),
             stationary: false,
+            out_consistent: false,
         }
     }
 
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
+    }
+
+    /// The engine's arithmetic mode.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Switch arithmetic mode. Invalidates the input mirror (the next step
+    /// re-solves everything from the current multipliers) so cached state
+    /// produced under the old mode's arithmetic can never leak into the
+    /// new one.
+    pub fn set_mode(&mut self, mode: EngineMode) {
+        self.mode = mode;
+        self.invalidate_cache();
+    }
+
+    /// Drop the incremental state: the next step diffs against nothing and
+    /// performs a full solve (warm-started from the current multipliers,
+    /// exactly as every step is). Exposed for tests and bisection; results
+    /// are unaffected by construction, which the equivalence proptests
+    /// check by invalidating at arbitrary points.
+    pub fn invalidate_cache(&mut self) {
+        self.hot.valid = false;
+        for memo in &mut self.llc_memo {
+            memo.clear();
+        }
     }
 
     pub fn contention(&self) -> ContentionSnapshot {
@@ -362,130 +510,389 @@ impl MemoryEngine {
     ) -> &[VcpuQuantumResult] {
         let quantum_us = quantum.as_micros() as f64;
         assert!(quantum_us > 0.0, "zero quantum");
+        let n = self.num_nodes;
+        let (grid, fp_tol) = match self.mode {
+            EngineMode::Exact => (0.0, 0.0),
+            EngineMode::Approx(p) => (p.intensity_grid, p.fp_tolerance),
+        };
+        // Mask once per step; per-slot quantization is then two integer ops
+        // (`quantize_rel` semantics without its per-call mask derivation).
+        let qmask = rel_grid_mask(grid);
 
-        // Detach the scratch buffers so the solve can borrow `&self`.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let mut results = std::mem::take(&mut self.results);
+        // Disjoint field borrows: the solve mutates `hot`/`results` while
+        // reading the model fields (`llc`, `imc`, `latency`, …) — all
+        // distinct fields of `self`, so no detach/re-attach copying of the
+        // (large) hot-state header block per step.
+        let hot = &mut self.hot;
+        let results = &mut self.results;
 
-        // 1. LLC sharing per node.
-        scratch.per_node.resize(self.num_nodes, Vec::new());
-        for members in scratch.per_node.iter_mut() {
-            members.clear();
-        }
-        for (i, u) in usages.iter().enumerate() {
-            debug_assert!(
-                (u.profile.node_access_dist.len()) == self.num_nodes,
-                "profile node distribution has wrong arity"
-            );
-            scratch.per_node[u.node.index()].push(i);
-        }
-        scratch.miss_rate.clear();
-        scratch.miss_rate.resize(usages.len(), 0.0);
-        for (node, members) in scratch.per_node.iter().enumerate() {
-            if members.is_empty() {
-                continue;
-            }
-            scratch.demands.clear();
-            scratch.demands.extend(members.iter().map(|&i| LlcDemand {
-                rpti: usages[i].rpti(),
-                curve: usages[i].profile.miss_curve,
-                runtime_share: usages[i].runtime_share,
-            }));
-            self.llc[node].occupancies_into(
-                &scratch.demands,
-                &mut scratch.llc_occ,
-                &mut scratch.llc_scratch,
-            );
-            for (&i, o) in members.iter().zip(scratch.llc_occ.iter()) {
-                let boosted = o.miss_rate * usages[i].cold_miss_boost.max(1.0);
-                scratch.miss_rate[i] =
-                    boosted.min(usages[i].profile.miss_curve.max_miss.max(o.miss_rate));
+        // --- Diff the incoming usages against the bitwise input mirror. ---
+        // `shape_same`: the (key, node) sequence is unchanged, so the
+        // per-node membership and every slot's run node stand.
+        let mut shape_same = hot.valid && usages.len() == hot.len;
+        if shape_same {
+            for (i, u) in usages.iter().enumerate() {
+                if hot.key[i] != u.key || hot.node[i] != u.node.index() as u32 {
+                    shape_same = false;
+                    break;
+                }
             }
         }
+        let quantum_changed = quantum_us.to_bits() != hot.quantum_us.to_bits();
+        let mut any_changed = !shape_same || quantum_changed;
+        let mut dist_changed = !shape_same;
+        hot.quantum_us = quantum_us;
+        hot.node_dirty.resize(n, false);
+        if shape_same && quantum_changed {
+            // A quantum change rescales every slot's cycle budget.
+            for s in hot.slot_changed.iter_mut() {
+                *s = true;
+            }
+        }
+        if !shape_same {
+            let len = usages.len();
+            hot.len = len;
+            hot.key.resize(len, 0);
+            hot.node.resize(len, 0);
+            hot.share.resize(len, 0.0);
+            hot.rpti_eff.resize(len, 0.0);
+            hot.boost.resize(len, 0.0);
+            hot.overhead.resize(len, 0.0);
+            hot.cv_min.resize(len, 0.0);
+            hot.cv_max.resize(len, 0.0);
+            hot.cv_ws.resize(len, 0);
+            hot.mlp.resize(len, 0.0);
+            hot.base_cpi.resize(len, 0.0);
+            hot.dist.resize(len * n, 0.0);
+            hot.occ_miss.resize(len, 0.0);
+            hot.m.resize(len, 0.0);
+            hot.refs_per_instr.resize(len, 0.0);
+            hot.hit_term.resize(len, 0.0);
+            hot.mlp_eff.resize(len, 0.0);
+            hot.refs_over_mlp.resize(len, 0.0);
+            hot.cycles.resize(len, 0.0);
+            hot.out_instructions.resize(len, 0);
+            hot.out_cpi.resize(len, 0.0);
+            hot.out_refs.resize(len, 0);
+            hot.out_misses.resize(len, 0);
+            hot.out_local.resize(len, 0);
+            hot.out_remote.resize(len, 0);
+            hot.out_node_acc.resize(len * n, 0);
+            hot.slot_changed.clear();
+            hot.slot_changed.resize(len, true);
+            for d in hot.node_dirty.iter_mut() {
+                *d = true;
+            }
+            hot.members.resize(n, Vec::new());
+            for m in hot.members.iter_mut() {
+                m.clear();
+            }
+            for (i, u) in usages.iter().enumerate() {
+                debug_assert!(
+                    u.profile.node_access_dist.len() == n,
+                    "profile node distribution has wrong arity"
+                );
+                let node = u.node.index();
+                hot.key[i] = u.key;
+                hot.node[i] = node as u32;
+                hot.members[node].push(i as u32);
+                let p = u.profile;
+                let c = &p.miss_curve;
+                hot.share[i] = u.runtime_share;
+                hot.rpti_eff[i] = quantize_bits(u.rpti(), qmask);
+                hot.boost[i] = u.cold_miss_boost;
+                hot.overhead[i] = u.overhead_us;
+                hot.cv_min[i] = c.min_miss;
+                hot.cv_max[i] = c.max_miss;
+                hot.cv_ws[i] = c.ws_bytes;
+                hot.mlp[i] = p.mlp;
+                hot.base_cpi[i] = p.base_cpi;
+                hot.dist[i * n..(i + 1) * n].copy_from_slice(&p.node_access_dist);
+            }
+        } else {
+            for (i, u) in usages.iter().enumerate() {
+                debug_assert!(
+                    u.profile.node_access_dist.len() == n,
+                    "profile node distribution has wrong arity"
+                );
+                let p = u.profile;
+                let c = &p.miss_curve;
+                let rpti_eff = quantize_bits(u.rpti(), qmask);
+                // XOR-fold each field group into one change word: one
+                // well-predicted branch per group instead of one per field.
+                let llc_delta = (hot.rpti_eff[i].to_bits() ^ rpti_eff.to_bits())
+                    | (hot.share[i].to_bits() ^ u.runtime_share.to_bits())
+                    | (hot.cv_min[i].to_bits() ^ c.min_miss.to_bits())
+                    | (hot.cv_max[i].to_bits() ^ c.max_miss.to_bits())
+                    | (hot.cv_ws[i] ^ c.ws_bytes);
+                if llc_delta != 0 {
+                    hot.rpti_eff[i] = rpti_eff;
+                    hot.share[i] = u.runtime_share;
+                    hot.cv_min[i] = c.min_miss;
+                    hot.cv_max[i] = c.max_miss;
+                    hot.cv_ws[i] = c.ws_bytes;
+                    hot.node_dirty[hot.node[i] as usize] = true;
+                    hot.slot_changed[i] = true;
+                    any_changed = true;
+                }
+                let slot_delta = (hot.boost[i].to_bits() ^ u.cold_miss_boost.to_bits())
+                    | (hot.overhead[i].to_bits() ^ u.overhead_us.to_bits())
+                    | (hot.mlp[i].to_bits() ^ p.mlp.to_bits())
+                    | (hot.base_cpi[i].to_bits() ^ p.base_cpi.to_bits());
+                if slot_delta != 0 {
+                    hot.boost[i] = u.cold_miss_boost;
+                    hot.overhead[i] = u.overhead_us;
+                    hot.mlp[i] = p.mlp;
+                    hot.base_cpi[i] = p.base_cpi;
+                    hot.slot_changed[i] = true;
+                    any_changed = true;
+                }
+                let row = &mut hot.dist[i * n..(i + 1) * n];
+                for (prev, &frac) in row.iter_mut().zip(p.node_access_dist.iter()) {
+                    if bits_ne(*prev, frac) {
+                        *prev = frac;
+                        hot.slot_changed[i] = true;
+                        dist_changed = true;
+                    }
+                }
+            }
+            any_changed |= dist_changed;
+        }
+        hot.valid = true;
 
-        // Hoist everything that does not change across fixed-point rounds.
-        // Each expression is composed exactly as the in-loop original so
-        // the bits match (pinned by the golden machine test).
-        scratch.inv.clear();
-        scratch.nz.clear();
-        scratch.nz_start.clear();
-        for (i, u) in usages.iter().enumerate() {
-            scratch.nz_start.push(scratch.nz.len() as u32);
-            let run_node = u.node.index();
-            for (home, &frac) in u.profile.node_access_dist.iter().enumerate() {
-                if frac <= 0.0 {
+        // --- Whole-step skip: identical inputs at a converged fixed point
+        // replay the identical trajectory (the `step_batch` argument), so
+        // the cached final round already is this step's answer. ---
+        if !any_changed && self.stationary {
+            materialize_results(hot, results, n);
+            return &self.results;
+        }
+
+        if any_changed {
+            // --- LLC occupancy re-solve, dirty nodes only. The solve is a
+            // pure per-node function of its members' (rpti, share, curve)
+            // tuples, all verified bitwise unchanged on clean nodes. ---
+            for node in 0..n {
+                if !hot.node_dirty[node] || hot.members[node].is_empty() {
+                    hot.node_dirty[node] = false;
                     continue;
                 }
-                scratch.nz.push(NzFrac {
-                    pair: (run_node * self.num_nodes + home) as u32,
-                    home: home as u32,
-                    frac,
-                });
+                hot.node_dirty[node] = false;
+                let members = &hot.members[node];
+                let mut memo_fp = members.len() as u64;
+                let use_memo = grid > 0.0 && self.llc_memo[node].consult();
+                if use_memo {
+                    // Approx mode: memo the solve behind a fingerprint of
+                    // the quantized member-input key (intensity noise now
+                    // lands on a small set of grid points, so revisited
+                    // states hit).
+                    for &i in members.iter() {
+                        let i = i as usize;
+                        memo_fp = fingerprint_u64(memo_fp, hot.rpti_eff[i].to_bits());
+                        memo_fp = fingerprint_u64(memo_fp, hot.share[i].to_bits());
+                        memo_fp = fingerprint_u64(memo_fp, hot.cv_min[i].to_bits());
+                        memo_fp = fingerprint_u64(memo_fp, hot.cv_max[i].to_bits());
+                        memo_fp = fingerprint_u64(memo_fp, hot.cv_ws[i]);
+                    }
+                    if let Some(miss) = self.llc_memo[node].lookup(memo_fp) {
+                        for (&i, &m) in members.iter().zip(miss.iter()) {
+                            let i = i as usize;
+                            let q = quantize_bits(m, qmask);
+                            if bits_ne(hot.occ_miss[i], q) {
+                                hot.occ_miss[i] = q;
+                                hot.slot_changed[i] = true;
+                            }
+                        }
+                        continue;
+                    }
+                }
+                hot.demands.clear();
+                for &i in members.iter() {
+                    let i = i as usize;
+                    hot.demands.push(LlcDemand {
+                        rpti: hot.rpti_eff[i],
+                        curve: MissCurve {
+                            min_miss: hot.cv_min[i],
+                            max_miss: hot.cv_max[i],
+                            ws_bytes: hot.cv_ws[i],
+                        },
+                        runtime_share: hot.share[i],
+                    });
+                }
+                self.llc[node].occupancies_into(
+                    &hot.demands,
+                    &mut hot.llc_occ,
+                    &mut hot.llc_scratch,
+                );
+                // Approx mode quantizes the solved miss rate onto the same
+                // relative grid as the intensity inputs: sub-grid occupancy
+                // shifts then leave a co-runner's miss rate bitwise
+                // unchanged, which is what lets its outputs replay (the
+                // added relative error is below the grid, on top of the
+                // input quantization already documented). The exact-mode
+                // mask is all ones, a bitwise identity.
+                for (&i, o) in members.iter().zip(hot.llc_occ.iter()) {
+                    let i = i as usize;
+                    let q = quantize_bits(o.miss_rate, qmask);
+                    if bits_ne(hot.occ_miss[i], q) {
+                        hot.occ_miss[i] = q;
+                        hot.slot_changed[i] = true;
+                    }
+                }
+                if use_memo {
+                    hot.memo_miss.clear();
+                    hot.memo_miss
+                        .extend(members.iter().map(|&i| hot.occ_miss[i as usize]));
+                    self.llc_memo[node].insert(memo_fp, &hot.memo_miss);
+                }
             }
-            let m = scratch.miss_rate[i];
-            let usable_us = (quantum_us * u.runtime_share - u.overhead_us).max(0.0);
-            scratch.inv.push(UsageInv {
-                run_node: run_node as u32,
-                refs_per_instr: u.rpti() / 1_000.0,
-                m,
-                hit_term: (1.0 - m) * self.latency.llc_hit_cycles,
-                mlp: u.profile.mlp.max(1.0),
-                base_cpi: u.profile.base_cpi,
-                cycles: usable_us * self.freq_mhz as f64,
-            });
-        }
-        scratch.nz_start.push(scratch.nz.len() as u32);
 
-        // 2. Solve the contention fixed point: instruction rates depend on
+            // --- Round-invariant derived columns. Each expression is
+            // composed exactly as the reference composes it, from inputs
+            // that are bitwise the reference's inputs, so the bits match.
+            // Slots whose inputs and solved miss rate are all bitwise
+            // unchanged would recompute identical values, so they are
+            // skipped (valid in both modes — it is the same pure-function
+            // argument the node dirty bits rest on). ---
+            hot.active.clear();
+            for i in 0..hot.len {
+                if hot.rpti_eff[i] != 0.0 {
+                    hot.active.push(i as u32);
+                }
+                if !hot.slot_changed[i] {
+                    continue;
+                }
+                let om = hot.occ_miss[i];
+                let boosted = om * hot.boost[i].max(1.0);
+                let m = boosted.min(hot.cv_max[i].max(om));
+                hot.m[i] = m;
+                hot.refs_per_instr[i] = hot.rpti_eff[i] / 1_000.0;
+                hot.hit_term[i] = (1.0 - m) * self.latency.llc_hit_cycles;
+                hot.mlp_eff[i] = hot.mlp[i].max(1.0);
+                if grid > 0.0 || fp_tol > 0.0 {
+                    hot.refs_over_mlp[i] = hot.refs_per_instr[i] / hot.mlp_eff[i];
+                }
+                let usable_us = (quantum_us * hot.share[i] - hot.overhead[i]).max(0.0);
+                hot.cycles[i] = usable_us * self.freq_mhz as f64;
+                if hot.rpti_eff[i] == 0.0 {
+                    // Zero LLC references: the miss term below is an exact
+                    // `+0.0` for any finite miss cost, so this slot's CPI
+                    // cannot see the contention multipliers and it offers
+                    // no demand. Its outputs are round-invariant — compute
+                    // them once here with a zero miss cost (same bits) and
+                    // leave it out of the fixed-point rounds entirely.
+                    let cpi = hot.base_cpi[i]
+                        + hot.refs_per_instr[i] * (hot.hit_term[i] + hot.m[i] * 0.0)
+                            / hot.mlp_eff[i];
+                    let instructions = (hot.cycles[i] / cpi) as u64;
+                    let llc_refs = round_to_u64(instructions as f64 * hot.refs_per_instr[i]);
+                    let llc_misses = round_to_u64(llc_refs as f64 * hot.m[i]);
+                    hot.out_instructions[i] = instructions;
+                    hot.out_cpi[i] = cpi;
+                    hot.out_refs[i] = llc_refs;
+                    hot.out_misses[i] = llc_misses;
+                    hot.out_local[i] = 0;
+                    hot.out_remote[i] = 0;
+                    hot.out_node_acc[i * n..(i + 1) * n].fill(0);
+                }
+            }
+        }
+        // (`!any_changed && !stationary`: everything above is cached; only
+        // the fixed point below still moves.)
+
+        // --- Solve the contention fixed point: instruction rates depend on
         // latency multipliers, which depend on the demand those rates
-        // generate. Damped iteration from the previous quantum's state.
-        // Every round overwrites the pooled results, so the solve may stop
-        // at the first round whose update leaves all multipliers bitwise
-        // unchanged: with identical multipliers every further round
-        // recomputes identical demand, identical targets, and identical
-        // per-VCPU results, so the final round's output is already in hand.
+        // generate. Damped iteration, warm-started from the previous
+        // quantum's multipliers. Every round overwrites the output columns,
+        // so the solve may stop at the first round whose update leaves all
+        // multipliers bitwise unchanged: with identical multipliers every
+        // further round recomputes identical demand, identical targets, and
+        // identical per-VCPU results, so the final round's output is
+        // already in hand. ---
         let quantum_s = quantum_us / 1e6;
-        let mut imc_mult = self.imc_mult.clone();
-        let mut qpi_mult = self.qpi_mult.clone();
+        hot.cur_imc.clear();
+        hot.cur_imc.extend_from_slice(&self.imc_mult);
+        hot.cur_qpi.clear();
+        hot.cur_qpi.extend_from_slice(&self.qpi_mult);
+        hot.node_demand.resize(n, 0.0);
+        hot.pair_traffic.resize(n * n, 0.0);
+        hot.miss_cycles_matrix.resize(n * n, 0.0);
+        // Loop-invariant mode split for the CPI expression below: LLVM
+        // unswitches it, so neither variant pays a per-slot branch.
+        let approx_cpi = grid > 0.0 || fp_tol > 0.0;
+        // Per-slot output replay (round 0 only): when the stored outputs
+        // are consistent with the warm-start multipliers, a slot whose
+        // inputs and miss rate are bitwise unchanged would recompute
+        // bitwise-identical outputs — so its stored row is re-offered as
+        // demand (same values, same accumulation order: same bits) and the
+        // body is skipped. Any later round recomputes every active slot,
+        // because by then the multipliers have moved.
+        let reuse_ok = self.out_consistent;
+        let consistent_exit;
         let mut round = 0;
         loop {
-            scratch.node_demand_bytes.clear();
-            scratch.node_demand_bytes.resize(self.num_nodes, 0.0);
-            scratch.pair_traffic_bytes.clear();
-            scratch
-                .pair_traffic_bytes
-                .resize(self.num_nodes * self.num_nodes, 0.0);
+            let replay = round == 0 && reuse_ok;
+            for v in hot.node_demand.iter_mut() {
+                *v = 0.0;
+            }
+            for v in hot.pair_traffic.iter_mut() {
+                *v = 0.0;
+            }
 
             // Miss latency per (run, home) pair at the round's contention
             // levels: a pure function of the pair, so n² evaluations
             // replace one per usage × home.
-            scratch.miss_cycles_matrix.clear();
-            for run_node in 0..self.num_nodes {
-                for (home, &home_mult) in imc_mult.iter().enumerate() {
-                    let pair = run_node * self.num_nodes + home;
+            let mut pair = 0;
+            for run_node in 0..n {
+                for (home, &home_mult) in hot.cur_imc.iter().enumerate() {
                     let hop = if home == run_node {
                         None
                     } else {
                         Some(self.hop_latency_ns[pair])
                     };
-                    scratch.miss_cycles_matrix.push(self.latency.miss_cycles(
+                    hot.miss_cycles_matrix[pair] = self.latency.miss_cycles(
                         self.local_latency_ns[home],
                         home_mult,
                         hop,
-                        qpi_mult[pair],
-                    ));
+                        hot.cur_qpi[pair],
+                    );
+                    pair += 1;
                 }
             }
 
-            for (i, u) in usages.iter().enumerate() {
-                let inv = &scratch.inv[i];
-                let run_node = inv.run_node as usize;
-                let nz = &scratch.nz[scratch.nz_start[i] as usize..scratch.nz_start[i + 1] as usize];
+            for &slot in hot.active.iter() {
+                let i = slot as usize;
+                let run_node = hot.node[i] as usize;
+                let row = i * n;
+                if replay && !hot.slot_changed[i] {
+                    // Outputs stand bitwise; re-offer the demand they
+                    // generate from the stored per-home counts. The counts,
+                    // the byte products, and the accumulation order all
+                    // match what the full body below would produce, so the
+                    // demand accumulators end up bitwise identical too.
+                    for (home, &c) in hot.out_node_acc[row..row + n].iter().enumerate() {
+                        if home != run_node {
+                            let bytes = c as f64 * self.params.traffic_per_miss_bytes;
+                            hot.node_demand[home] += bytes * self.params.remote_imc_overhead;
+                            hot.pair_traffic[run_node * n + home] += bytes;
+                            hot.pair_traffic[home * n + run_node] += bytes;
+                        }
+                    }
+                    let local_bytes = hot.out_node_acc[row + run_node] as f64
+                        * self.params.traffic_per_miss_bytes;
+                    hot.node_demand[run_node] += local_bytes;
+                    continue;
+                }
 
-                // Average cycle cost of a miss over the access distribution.
+                // Average cycle cost of a miss over the access distribution
+                // — dense over homes, exactly as the reference composes it
+                // (zero rows contribute an exact `+0.0`: every matrix entry
+                // is finite).
+                let dist_row = &hot.dist[row..row + n];
+                let mrow = &hot.miss_cycles_matrix[run_node * n..run_node * n + n];
                 let mut miss_cycles = 0.0;
-                for e in nz {
-                    miss_cycles += e.frac * scratch.miss_cycles_matrix[e.pair as usize];
+                for (&frac, &mc) in dist_row.iter().zip(mrow.iter()) {
+                    miss_cycles += frac * mc;
                 }
 
                 // Outstanding misses overlap: each miss (and L3 hit) stalls
@@ -493,111 +900,186 @@ impl MemoryEngine {
                 // The saturating `as u64` cast is `.floor().max(0.0) as
                 // u64` (truncation, zero for negatives/NaN, saturation at
                 // the top) without the libm floor call.
-                let cpi =
-                    inv.base_cpi + inv.refs_per_instr * (inv.hit_term + inv.m * miss_cycles) / inv.mlp;
-                let instructions = (inv.cycles / cpi) as u64;
-                let llc_refs = round_to_u64(instructions as f64 * inv.refs_per_instr);
-                let llc_misses = round_to_u64(llc_refs as f64 * inv.m);
+                let cpi = if approx_cpi {
+                    // Reassociated (division hoisted to the derived pass);
+                    // approx mode only.
+                    hot.base_cpi[i]
+                        + hot.refs_over_mlp[i] * (hot.hit_term[i] + hot.m[i] * miss_cycles)
+                } else {
+                    hot.base_cpi[i]
+                        + hot.refs_per_instr[i] * (hot.hit_term[i] + hot.m[i] * miss_cycles)
+                            / hot.mlp_eff[i]
+                };
+                let instructions = (hot.cycles[i] / cpi) as u64;
+                let llc_refs = round_to_u64(instructions as f64 * hot.refs_per_instr[i]);
+                let llc_misses = round_to_u64(llc_refs as f64 * hot.m[i]);
 
-                scratch.node_accesses.clear();
-                scratch.node_accesses.resize(self.num_nodes, 0);
+                // Scatter misses over home nodes and accumulate demand in
+                // one pass, dense in home order (the reference's own
+                // order; zero rows scatter a zero count and add an exact
+                // `+0.0` of demand). Each miss moves more than its demand
+                // line (prefetch, writeback); remote misses additionally
+                // tax the home IMC with coherence work and cross the
+                // interconnect. A remote home's count is final before its
+                // demand add — the rounding remainder only ever lands on
+                // the run node. Every row entry is (re)written, so the
+                // stored rows of replayed slots above never go stale.
+                let _ = self.line_bytes;
+                let misses_f = llc_misses as f64;
                 let mut assigned = 0u64;
-                for e in nz {
-                    let c = (llc_misses as f64 * e.frac) as u64;
-                    scratch.node_accesses[e.home as usize] = c;
+                for (home, &frac) in dist_row.iter().enumerate() {
+                    let c = (misses_f * frac) as u64;
+                    hot.out_node_acc[row + home] = c;
                     assigned += c;
+                    if home != run_node {
+                        let bytes = c as f64 * self.params.traffic_per_miss_bytes;
+                        hot.node_demand[home] += bytes * self.params.remote_imc_overhead;
+                        hot.pair_traffic[run_node * n + home] += bytes;
+                        hot.pair_traffic[home * n + run_node] += bytes;
+                    }
                 }
                 // Give rounding remainder to the run node (arbitrary but local).
-                scratch.node_accesses[run_node] += llc_misses - assigned;
+                hot.out_node_acc[row + run_node] += llc_misses - assigned;
 
-                let local_accesses = scratch.node_accesses[run_node];
+                let local_accesses = hot.out_node_acc[row + run_node];
                 let remote_accesses = llc_misses - local_accesses;
-
-                // Accumulate demand. Each miss moves more than its demand
-                // line (prefetch, writeback); remote misses additionally tax
-                // the home IMC with coherence work and cross the
-                // interconnect. Only nonzero rows contribute; every
-                // accumulator slot still receives its adds in the reference
-                // order, and skipped adds are exact `+0.0` no-ops.
-                let _ = self.line_bytes;
-                for e in nz {
-                    let home = e.home as usize;
-                    if home == run_node {
-                        continue;
-                    }
-                    let bytes =
-                        scratch.node_accesses[home] as f64 * self.params.traffic_per_miss_bytes;
-                    scratch.node_demand_bytes[home] += bytes * self.params.remote_imc_overhead;
-                    scratch.pair_traffic_bytes[run_node * self.num_nodes + home] += bytes;
-                    scratch.pair_traffic_bytes[home * self.num_nodes + run_node] += bytes;
-                }
                 let local_bytes =
-                    scratch.node_accesses[run_node] as f64 * self.params.traffic_per_miss_bytes;
-                scratch.node_demand_bytes[run_node] += local_bytes;
+                    hot.out_node_acc[row + run_node] as f64 * self.params.traffic_per_miss_bytes;
+                hot.node_demand[run_node] += local_bytes;
 
-                if i < results.len() {
-                    let out = &mut results[i];
-                    out.key = u.key;
-                    out.instructions = instructions;
-                    out.llc_refs = llc_refs;
-                    out.llc_misses = llc_misses;
-                    out.local_accesses = local_accesses;
-                    out.remote_accesses = remote_accesses;
-                    out.node_accesses.clear();
-                    out.node_accesses.extend_from_slice(&scratch.node_accesses);
-                    out.effective_cpi = cpi;
-                    out.miss_rate = inv.m;
-                } else {
-                    results.push(VcpuQuantumResult {
-                        key: u.key,
-                        instructions,
-                        llc_refs,
-                        llc_misses,
-                        local_accesses,
-                        remote_accesses,
-                        node_accesses: scratch.node_accesses.clone(),
-                        effective_cpi: cpi,
-                        miss_rate: inv.m,
-                    });
-                }
+                hot.out_instructions[i] = instructions;
+                hot.out_cpi[i] = cpi;
+                hot.out_refs[i] = llc_refs;
+                hot.out_misses[i] = llc_misses;
+                hot.out_local[i] = local_accesses;
+                hot.out_remote[i] = remote_accesses;
             }
 
             // Recompute multipliers from this round's demand and relax.
             let damp = if round == 0 { 1.0 } else { 0.5 };
             let mut changed = false;
-            for (node, mult) in imc_mult.iter_mut().enumerate() {
+            let mut max_rel = 0.0f64;
+            if fp_tol > 0.0 {
+                // Approx mode keeps the pre-update multipliers so a
+                // tolerance exit can discard the final nudge (below).
+                hot.prev_imc.clear();
+                hot.prev_imc.extend_from_slice(&hot.cur_imc);
+                hot.prev_qpi.clear();
+                hot.prev_qpi.extend_from_slice(&hot.cur_qpi);
+            }
+            for (node, mult) in hot.cur_imc.iter_mut().enumerate() {
                 let target =
-                    self.imc[node].latency_multiplier(scratch.node_demand_bytes[node] / quantum_s);
+                    self.imc[node].latency_multiplier(hot.node_demand[node] / quantum_s);
                 let before = *mult;
                 *mult += damp * (target - *mult);
                 changed |= *mult != before;
+                max_rel = max_rel.max((*mult - before).abs() / before);
             }
-            for a in 0..self.num_nodes {
-                for b in 0..self.num_nodes {
-                    let idx = a * self.num_nodes + b;
-                    let target = match &self.qpi[idx] {
-                        Some(q) => {
-                            q.latency_multiplier(scratch.pair_traffic_bytes[idx] / quantum_s)
-                        }
-                        None => 1.0,
-                    };
-                    let before = qpi_mult[idx];
-                    qpi_mult[idx] += damp * (target - qpi_mult[idx]);
-                    changed |= qpi_mult[idx] != before;
-                }
+            for (idx, mult) in hot.cur_qpi.iter_mut().enumerate() {
+                let target = match &self.qpi[idx] {
+                    Some(q) => q.latency_multiplier(hot.pair_traffic[idx] / quantum_s),
+                    None => 1.0,
+                };
+                let before = *mult;
+                *mult += damp * (target - *mult);
+                changed |= *mult != before;
+                max_rel = max_rel.max((*mult - before).abs() / before);
             }
             round += 1;
             if round == FIXED_POINT_ROUNDS || !changed {
+                // `!changed`: the update was a bitwise identity, so the
+                // stored multipliers equal the ones that produced the
+                // outputs. A round-cap exit instead stores the post-update
+                // multipliers while the outputs came from the pre-update
+                // ones — inconsistent, so the next step must not replay.
+                consistent_exit = !changed;
+                break;
+            }
+            // Approx mode only: a round that moved every multiplier by
+            // less than the tolerance counts as converged. Roll the
+            // sub-tolerance nudge back: the round's outputs were computed
+            // with the pre-update multipliers, so keeping those makes the
+            // stored state consistent with the outputs — and makes a truly
+            // static stream reach *bitwise* stationarity (enabling the
+            // whole-step skip), instead of creeping forever by less than
+            // the tolerance. The multipliers then lag the moving target by
+            // at most `fp_tolerance`: once drift accumulates past it, the
+            // next round-0 full jump is applied as usual.
+            if fp_tol > 0.0 && max_rel < fp_tol {
+                hot.cur_imc.copy_from_slice(&hot.prev_imc);
+                hot.cur_qpi.copy_from_slice(&hot.prev_qpi);
+                consistent_exit = true;
                 break;
             }
         }
-        results.truncate(usages.len());
-        self.stationary = imc_mult == self.imc_mult && qpi_mult == self.qpi_mult;
-        self.imc_mult = imc_mult;
-        self.qpi_mult = qpi_mult;
-        self.scratch = scratch;
-        self.results = results;
+        self.stationary = hot.cur_imc == self.imc_mult && hot.cur_qpi == self.qpi_mult;
+        self.out_consistent = consistent_exit;
+        // Every changed slot has been recomputed by the final round (or the
+        // derived pass, for inactive slots), so the stored outputs are
+        // up to date again.
+        for s in hot.slot_changed.iter_mut() {
+            *s = false;
+        }
+        self.imc_mult.copy_from_slice(&hot.cur_imc);
+        self.qpi_mult.copy_from_slice(&hot.cur_qpi);
+        materialize_results(hot, results, n);
         &self.results
+    }
+}
+
+/// Copy the final round's output columns into the pooled AoS results the
+/// callers consume — once per step, not once per round.
+fn materialize_results(hot: &HotState, results: &mut Vec<VcpuQuantumResult>, n: usize) {
+    results.truncate(hot.len);
+    for i in 0..hot.len {
+        let row = &hot.out_node_acc[i * n..(i + 1) * n];
+        if i < results.len() {
+            let out = &mut results[i];
+            out.key = hot.key[i];
+            out.instructions = hot.out_instructions[i];
+            out.llc_refs = hot.out_refs[i];
+            out.llc_misses = hot.out_misses[i];
+            out.local_accesses = hot.out_local[i];
+            out.remote_accesses = hot.out_remote[i];
+            out.node_accesses.clear();
+            out.node_accesses.extend_from_slice(row);
+            out.effective_cpi = hot.out_cpi[i];
+            out.miss_rate = hot.m[i];
+        } else {
+            results.push(VcpuQuantumResult {
+                key: hot.key[i],
+                instructions: hot.out_instructions[i],
+                llc_refs: hot.out_refs[i],
+                llc_misses: hot.out_misses[i],
+                local_accesses: hot.out_local[i],
+                remote_accesses: hot.out_remote[i],
+                node_accesses: row.to_vec(),
+                effective_cpi: hot.out_cpi[i],
+                miss_rate: hot.m[i],
+            });
+        }
+    }
+}
+
+
+/// Bitwise inequality: the dirty diff must treat any representational
+/// change as a change (and, unlike `!=`, must not treat NaN as always
+/// changed-and-never-updated, which would re-dirty every step).
+#[inline]
+fn bits_ne(a: f64, b: f64) -> bool {
+    a.to_bits() != b.to_bits()
+}
+
+/// `quantize_rel` with the grid mask precomputed (see
+/// [`crate::curve::rel_grid_mask`]): identity for the all-ones exact-mode
+/// mask and for non-positive/non-finite values, mantissa truncation
+/// otherwise. Two integer ops on the per-slot diff path.
+#[inline]
+fn quantize_bits(x: f64, mask: u64) -> f64 {
+    if x > 0.0 && x.is_finite() {
+        f64::from_bits(x.to_bits() & mask)
+    } else {
+        x
     }
 }
 
@@ -605,7 +1087,7 @@ impl MemoryEngine {
 /// the queueing knee, cheap enough to run every quantum. The solve exits
 /// early once a round leaves every multiplier bitwise unchanged — each
 /// remaining round would reproduce exactly the same state.
-const FIXED_POINT_ROUNDS: usize = 4;
+pub(crate) const FIXED_POINT_ROUNDS: usize = 4;
 
 /// `x.round() as u64` without the libm call. For `x < 2^53` the cast
 /// truncates exactly and `x - trunc(x)` is exact (Sterbenz: `x < 2t` for
@@ -614,7 +1096,7 @@ const FIXED_POINT_ROUNDS: usize = 4;
 /// saturating-cast zero exactly like the reference, and the huge/infinite
 /// tail falls back to the reference expression itself.
 #[inline]
-fn round_to_u64(x: f64) -> u64 {
+pub(crate) fn round_to_u64(x: f64) -> u64 {
     if x >= 9_007_199_254_740_992.0 {
         return x.round() as u64;
     }
@@ -805,5 +1287,73 @@ mod tests {
         let mut e = engine();
         assert!(e.step(quantum(), &[]).is_empty());
         assert_eq!(e.contention().imc_multiplier, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn repeated_identical_steps_match_fresh_solve() {
+        // The whole-step skip may only fire where a re-solve would land on
+        // identical bytes: stepping the same inputs N times must match an
+        // engine that actually re-solves every step (reference semantics).
+        let p = profile(18.0, 16, vec![0.7, 0.3]);
+        let q = profile(25.0, 64, vec![0.2, 0.8]);
+        let mut incr = engine();
+        let mut ref_e = crate::reference::ReferenceEngine::new(&presets::xeon_e5620());
+        for _ in 0..12 {
+            let usages = [usage(1, 0, &p), usage(2, 1, &q), usage(3, 1, &p)];
+            let a = incr.step(quantum(), &usages);
+            let b = ref_e.step(quantum(), &usages);
+            assert_eq!(a, b);
+            assert_eq!(incr.contention(), ref_e.contention());
+            assert_eq!(incr.last_step_stationary(), ref_e.last_step_stationary());
+        }
+    }
+
+    #[test]
+    fn mode_switch_invalidates_and_still_solves() {
+        let p = profile(18.0, 16, vec![0.7, 0.3]);
+        let mut e = engine();
+        e.step(quantum(), &[usage(1, 0, &p)]);
+        e.set_mode(EngineMode::Approx(ApproxParams::default()));
+        assert_eq!(e.mode(), EngineMode::Approx(ApproxParams::default()));
+        let r = e.step(quantum(), &[usage(1, 0, &p)]);
+        assert!(r[0].instructions > 0);
+        e.set_mode(EngineMode::Exact);
+        let r = e.step(quantum(), &[usage(1, 0, &p)]);
+        assert!(r[0].instructions > 0);
+    }
+
+    #[test]
+    fn approx_mode_tracks_exact_within_tolerance() {
+        // Documented bound for the default ApproxParams: the 0.05 grid
+        // truncates effective RPTI onto a ≤ 3.2 %-spaced ladder, and the
+        // 0.05 fixed-point tolerance lets the multipliers lag the moving
+        // fixed point by up to 5 % — per-quantum instruction counts stay
+        // within a few percent of exact.
+        let p = profile(18.0, 16, vec![0.7, 0.3]);
+        let q = profile(25.0, 64, vec![0.2, 0.8]);
+        let mut exact = engine();
+        let mut approx =
+            MemoryEngine::with_mode(&presets::xeon_e5620(), EngineMode::Approx(ApproxParams::default()));
+        for step in 0..50 {
+            // A deterministic pseudo-noise walk over intensity.
+            let scale = 1.0 + 0.15 * ((step * 37 % 17) as f64 / 17.0 - 0.5);
+            let mut u1 = usage(1, 0, &p);
+            u1.rpti_scale = scale;
+            let mut u2 = usage(2, 1, &q);
+            u2.rpti_scale = 2.0 - scale;
+            let usages = [u1, u2];
+            let a = exact.step(quantum(), &usages);
+            let b = approx.step(quantum(), &usages);
+            for (ra, rb) in a.iter().zip(b.iter()) {
+                let rel = (ra.instructions as f64 - rb.instructions as f64).abs()
+                    / ra.instructions.max(1) as f64;
+                assert!(
+                    rel < 0.05,
+                    "step {step}: approx deviated {rel:.4} (exact={}, approx={})",
+                    ra.instructions,
+                    rb.instructions
+                );
+            }
+        }
     }
 }

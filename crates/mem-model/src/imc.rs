@@ -28,12 +28,16 @@ impl ImcModel {
     }
 
     /// Utilization of the controller given `demand` bytes/second.
+    #[inline]
     pub fn utilization(&self, demand_bytes_per_s: f64) -> f64 {
         (demand_bytes_per_s / self.bandwidth_bytes_per_s as f64).max(0.0)
     }
 
     /// Latency multiplier at the given demand: 1.0 when idle, rising
     /// hyperbolically toward `1/(1-cap)` ≈ 20× at saturation.
+    /// Inlined: the engine evaluates this once per node per fixed-point
+    /// round, inside the hottest loop of the simulator.
+    #[inline]
     pub fn latency_multiplier(&self, demand_bytes_per_s: f64) -> f64 {
         let u = self.utilization(demand_bytes_per_s).min(self.utilization_cap);
         1.0 / (1.0 - u)

@@ -27,11 +27,17 @@ pub mod latency;
 pub mod llc;
 pub mod pages;
 pub mod qpi;
+pub mod reference;
+pub mod select;
 
 pub use curve::MissCurve;
-pub use engine::{AccessProfile, MemoryEngine, QuantumUsage, VcpuQuantumResult};
+pub use engine::{
+    AccessProfile, ApproxParams, EngineMode, MemoryEngine, QuantumUsage, VcpuQuantumResult,
+};
 pub use imc::ImcModel;
 pub use latency::LatencyParams;
 pub use llc::{LlcModel, LlcOccupancy};
 pub use pages::{AllocPolicy, NodeFree, VmMemoryLayout};
 pub use qpi::QpiModel;
+pub use reference::ReferenceEngine;
+pub use select::{AnyEngine, EngineSelect};

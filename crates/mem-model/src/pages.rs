@@ -70,6 +70,11 @@ pub struct VmMemoryLayout {
     extents: Vec<(NodeId, u64)>,
     total_bytes: u64,
     num_nodes: usize,
+    /// Bumped every time the page map actually changes (a migration that
+    /// moves at least one byte). Lets consumers — thread-distribution
+    /// caches, the incremental engine's dirty tracking — detect "pages
+    /// moved" with one integer compare instead of diffing extents.
+    generation: u64,
 }
 
 impl VmMemoryLayout {
@@ -215,7 +220,14 @@ impl VmMemoryLayout {
             extents,
             total_bytes: bytes,
             num_nodes: n,
+            generation: 0,
         })
+    }
+
+    /// Monotone page-map version: unchanged by no-op migrations, bumped
+    /// whenever bytes actually move.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     pub fn total_bytes(&self) -> u64 {
@@ -317,6 +329,9 @@ impl VmMemoryLayout {
             }
         }
         self.extents = coalesced;
+        if moved > 0 {
+            self.generation += 1;
+        }
         debug_assert_eq!(
             self.extents.iter().map(|&(_, b)| b).sum::<u64>(),
             self.total_bytes,
@@ -513,6 +528,24 @@ mod tests {
         let moved = vm.migrate_range(4 * GB, 8 * GB, NodeId::new(1), GB);
         assert_eq!(moved, 0);
         assert_eq!(vm.node_bytes(), vec![4 * GB, 4 * GB]);
+    }
+
+    #[test]
+    fn generation_tracks_real_moves_only() {
+        let mut free = two_nodes_12gb();
+        let mut vm = VmMemoryLayout::allocate(8 * GB, AllocPolicy::SplitEven, &mut free).unwrap();
+        assert_eq!(vm.generation(), 0);
+        // No-op migration (bytes already local): generation unchanged.
+        vm.migrate_range(4 * GB, 8 * GB, NodeId::new(1), GB);
+        assert_eq!(vm.generation(), 0);
+        // Real move bumps it once per call.
+        vm.migrate_range(0, 4 * GB, NodeId::new(1), GB);
+        assert_eq!(vm.generation(), 1);
+        vm.migrate_range(0, 4 * GB, NodeId::new(1), GB);
+        assert_eq!(vm.generation(), 2);
+        // Zero-budget call is a no-op.
+        vm.migrate_range(0, 4 * GB, NodeId::new(1), 0);
+        assert_eq!(vm.generation(), 2);
     }
 
     #[test]

@@ -32,15 +32,19 @@ impl QpiModel {
     }
 
     /// Aggregate bandwidth across the parallel links.
+    #[inline]
     pub fn total_bandwidth(&self) -> f64 {
         self.bandwidth_bytes_per_s as f64 * self.parallel_links as f64
     }
 
+    #[inline]
     pub fn utilization(&self, traffic_bytes_per_s: f64) -> f64 {
         (traffic_bytes_per_s / self.total_bandwidth()).max(0.0)
     }
 
     /// Hop-latency multiplier under the given cross-node traffic.
+    /// Inlined: evaluated once per node pair per fixed-point round.
+    #[inline]
     pub fn latency_multiplier(&self, traffic_bytes_per_s: f64) -> f64 {
         let u = self.utilization(traffic_bytes_per_s).min(self.utilization_cap);
         1.0 / (1.0 - u)

@@ -21,7 +21,7 @@ use crate::pcpu::PcpuState;
 use crate::policy::{AnalyzerView, PeriodFeedback, SchedPolicy, StealContext, VcpuView};
 use crate::vcpu::{Priority, VcpuKind, VcpuState};
 use crate::vm::{VmConfig, VmRuntime};
-use mem_model::{MemoryEngine, NodeFree, QuantumUsage};
+use mem_model::{AnyEngine, EngineSelect, NodeFree, QuantumUsage};
 use numa_topo::{NodeId, PcpuId, Topology, VcpuId, VmId};
 use pmu::{OverheadModel, OverheadTracker, PeriodSampler, PmuSample};
 use sim_core::{
@@ -102,6 +102,11 @@ pub struct MachineConfig {
     /// bisect a suspected batching bug against the reference per-quantum
     /// stepper.
     pub macro_step: bool,
+    /// Which memory-engine implementation resolves execution (default the
+    /// exact incremental engine; `Reference` pins the frozen pre-rewrite
+    /// solver for byte-diffs, `Approx` trades bounded model error for
+    /// speed on noisy per-quantum runs).
+    pub engine: EngineSelect,
 }
 
 impl Default for MachineConfig {
@@ -124,6 +129,7 @@ impl Default for MachineConfig {
             seed: 42,
             faults: FaultConfig::none(),
             macro_step: true,
+            engine: EngineSelect::Exact,
         }
     }
 }
@@ -174,6 +180,12 @@ impl MachineBuilder {
         self
     }
 
+    /// Select the memory-engine implementation (default exact).
+    pub fn engine(mut self, select: EngineSelect) -> Self {
+        self.cfg.engine = select;
+        self
+    }
+
     pub fn policy(mut self, policy: Box<dyn SchedPolicy>) -> Self {
         self.policy = Some(policy);
         self
@@ -221,7 +233,7 @@ pub struct Machine {
     topo: Topology,
     cfg: MachineConfig,
     policy: Box<dyn SchedPolicy>,
-    engine: MemoryEngine,
+    engine: AnyEngine,
     sampler: PeriodSampler,
     overhead: OverheadTracker,
     clock: Clock,
@@ -251,6 +263,11 @@ pub struct Machine {
     /// Cached `cfg.faults.enabled()`: gates every per-quantum fault hook so
     /// the fault-free hot path stays branch-cheap and draw-free.
     faults_enabled: bool,
+    /// Cached "macro-stepping could ever batch here" check: macro-step on,
+    /// no faults, no intensity noise. When false (every noisy or faulty
+    /// run), `step_quanta` skips `macro_horizon` entirely, so enabling
+    /// macro-stepping costs the noisy path nothing.
+    macro_candidate: bool,
     /// Per-VCPU validity of the latest period's samples (1 clean, 0 lost),
     /// reported to the policy through [`PeriodFeedback`].
     sample_validity: Vec<f64>,
@@ -410,6 +427,9 @@ impl Machine {
             noise_scratch: Vec::with_capacity(num_vcpus),
             injector: FaultInjector::new(cfg.faults.clone())?,
             faults_enabled: cfg.faults.enabled(),
+            macro_candidate: cfg.macro_step
+                && !cfg.faults.enabled()
+                && cfg.intensity_noise_sd == 0.0,
             sample_validity: vec![1.0; num_vcpus],
             failed_migrations: Vec::new(),
             delayed_moves: Vec::new(),
@@ -419,7 +439,7 @@ impl Machine {
             tids,
             was_fallback: false,
             provenance: crate::provenance::ProvenanceLog::disabled(),
-            engine: MemoryEngine::new(&topo),
+            engine: AnyEngine::new(&topo, cfg.engine),
             sampler: PeriodSampler::new(num_vcpus, num_nodes, cfg.sample_period),
             overhead: OverheadTracker::new(cfg.overhead),
             clock: Clock::new(cfg.quantum),
@@ -648,7 +668,7 @@ impl Machine {
         self.wake_idlers(now);
         self.schedule_all();
 
-        let batch = if self.cfg.macro_step && max_quanta > 1 {
+        let batch = if self.macro_candidate && max_quanta > 1 {
             self.macro_horizon(now, max_quanta)
         } else {
             1

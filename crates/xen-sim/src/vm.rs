@@ -269,8 +269,12 @@ impl VmRuntime {
         assert!(vm_idx < n, "slot {vm_idx} is not a worker slot");
         let thread = self.slot_thread[vm_idx];
         let (start, end) = self.layout.thread_range(thread, n);
+        let gen_before = self.layout.generation();
         let moved = self.layout.migrate_range(start, end, to_node, max_bytes);
-        if moved > 0 {
+        // Refresh distributions only when the page map actually changed;
+        // a no-op migration must not perturb the cached profiles (the
+        // engine's dirty tracking would otherwise see false changes).
+        if self.layout.generation() != gen_before {
             for (i, t) in self.threads.iter_mut().enumerate() {
                 let shared = t.workload.base().shared_frac;
                 t.access_dist = self.layout.thread_access_distribution(i, n, shared);

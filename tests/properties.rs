@@ -2,7 +2,7 @@
 //! whole stack for arbitrary configurations.
 
 use experiments::runner::{run_workload, RunOptions, Scheduler, SetupKind, ALL_SCHEDULERS};
-use mem_model::AllocPolicy;
+use mem_model::{AllocPolicy, EngineSelect};
 use numa_topo::{presets, NodeConfig, TopologyBuilder};
 use proptest::prelude::*;
 use sim_core::{FaultConfig, SimDuration};
@@ -82,6 +82,104 @@ fn macro_stepping_is_invisible_across_schedulers_seeds_and_faults() {
             }
         }
     }
+}
+
+/// Run one (scheduler, seed, fault, macro) configuration under the exact
+/// incremental engine and the frozen reference engine and demand
+/// byte-identical metrics and series.
+fn assert_engine_invisible(scheduler: Scheduler, seed: u64, fault_rate: f64, macro_step: bool) {
+    let mut opts = RunOptions {
+        duration: SimDuration::from_secs(2),
+        warmup: SimDuration::from_secs(1),
+        seed,
+        shuffle: Some(SimDuration::from_millis(500)),
+        macro_step,
+        ..RunOptions::default()
+    };
+    if fault_rate > 0.0 {
+        opts.faults = FaultConfig::uniform(fault_rate, seed + 1);
+    }
+    let run = |engine: EngineSelect| {
+        let mut o = opts.clone();
+        o.engine = engine;
+        run_workload(
+            scheduler,
+            SetupKind::PaperEval,
+            vec![npb::lu()],
+            vec![npb::lu()],
+            &o,
+        )
+        .unwrap()
+        .metrics
+    };
+    let soa = run(EngineSelect::Exact);
+    let reference = run(EngineSelect::Reference);
+    let label = (scheduler.name(), seed, fault_rate, macro_step);
+    assert_eq!(
+        soa.to_json(),
+        reference.to_json(),
+        "metrics diverged: {label:?}"
+    );
+    assert_eq!(
+        soa.series_csv(),
+        reference.series_csv(),
+        "series diverged: {label:?}"
+    );
+}
+
+/// Golden equivalence of the incremental SoA engine: for every scheduler,
+/// across seeds, fault rates, and both stepping modes, exact-mode runs are
+/// bit-identical to the frozen pre-rewrite engine.
+#[test]
+fn soa_engine_is_byte_identical_across_schedulers_seeds_faults_and_stepping() {
+    for scheduler in MACRO_EQUIV_SCHEDULERS {
+        for seed in [1, 2, 3] {
+            for fault_rate in [0.0, 0.15] {
+                for macro_step in [true, false] {
+                    assert_engine_invisible(scheduler, seed, fault_rate, macro_step);
+                }
+            }
+        }
+    }
+}
+
+/// The approx engine is a model-error trade, not a correctness bug: its
+/// headline throughput prediction must track the exact engine within the
+/// documented tolerance (quantization grid 0.05 → ≤ ~2.5% per lookup,
+/// loosened here for accumulation across a full run).
+#[test]
+fn approx_engine_tracks_exact_within_documented_tolerance() {
+    let run = |engine: EngineSelect| {
+        let opts = RunOptions {
+            duration: SimDuration::from_secs(2),
+            warmup: SimDuration::from_secs(1),
+            seed: 7,
+            engine,
+            ..RunOptions::default()
+        };
+        run_workload(
+            Scheduler::VProbe,
+            SetupKind::PaperEval,
+            vec![npb::lu()],
+            vec![npb::lu()],
+            &opts,
+        )
+        .unwrap()
+    };
+    let exact = run(EngineSelect::Exact);
+    let approx = run(EngineSelect::Approx);
+    let rel = (approx.instr_rate - exact.instr_rate).abs() / exact.instr_rate;
+    assert!(
+        rel < 0.05,
+        "approx instr_rate diverged {rel:.4} (exact {}, approx {})",
+        exact.instr_rate,
+        approx.instr_rate
+    );
+    let rel_remote = (approx.remote_ratio - exact.remote_ratio).abs();
+    assert!(
+        rel_remote < 0.05,
+        "approx remote ratio diverged {rel_remote:.4}"
+    );
 }
 
 /// The machine used by the fault-determinism properties: vProbe-GD so
