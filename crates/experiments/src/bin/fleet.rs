@@ -54,8 +54,9 @@ fn usage() {
          [--migration-fail-rate R] [--migration-delay-rate R] \
          [--fault-rate R] [--fault-seed N] [--jobs N] [--out FILE] \
          [--trace-host IDX] [--trace-out FILE] [--provenance-dir DIR] \
-         [--slo-budget-s S] [--compare-single]\n\
-         schedulers: credit, vprobe, vprobe-gd; presets: xeon-e5620, 4s32c, uma-quad"
+         [--slo-budget-s S] [--engine E] [--perf-out FILE] [--compare-single]\n\
+         schedulers: credit, vprobe, vprobe-gd; presets: xeon-e5620, 4s32c, uma-quad; \
+         engines: exact, approx, reference"
     );
 }
 
@@ -118,6 +119,13 @@ fn run(mut args: Vec<String>) -> Result<(), SimError> {
     if let Some(s) = take_parsed::<f64>(&mut args, "--slo-budget-s")? {
         cfg.slo_evac_budget_s = s;
     }
+    if let Some(e) = take_value(&mut args, "--engine")? {
+        cfg.engine = mem_model::EngineSelect::parse(&e).ok_or_else(|| {
+            SimError::UnknownName(format!("engine '{e}' (known: exact, approx, reference)"))
+        })?;
+    }
+    let perf_out = take_value(&mut args, "--perf-out")?;
+    cfg.perf = perf_out.is_some();
     let out = take_value(&mut args, "--out")?;
     let trace_host = take_parsed::<usize>(&mut args, "--trace-host")?;
     let trace_out = take_value(&mut args, "--trace-out")?;
@@ -155,7 +163,7 @@ fn run(mut args: Vec<String>) -> Result<(), SimError> {
         for (file, contents) in [
             ("spans.jsonl", fleet.spans_jsonl()),
             ("fleet.chrome.json", fleet.spans_chrome()),
-            ("slo.json", fleet.slo_json()),
+            ("slo.json", fleet.slo_json()?),
         ] {
             let contents = contents.ok_or_else(|| {
                 SimError::InvalidConfig("provenance accessors empty after enable".into())
@@ -164,6 +172,10 @@ fn run(mut args: Vec<String>) -> Result<(), SimError> {
             write_file(&p, &contents)?;
             eprintln!("wrote {p}");
         }
+    }
+    if let Some(path) = perf_out {
+        write_file(&path, &format!("{}\n", fleet.perf_json()))?;
+        eprintln!("wrote {path}");
     }
     if let (Some(idx), Some(path)) = (trace_host, trace_out) {
         match fleet.hosts().get(idx).and_then(|h| h.machine.as_ref()) {
@@ -212,7 +224,8 @@ fn compare_single_host(cfg: &FleetConfig) -> Result<(), SimError> {
         .sample_period(quiet.epoch_len)
         .seed(quiet.seed)
         .faults(faults)
-        .macro_step(quiet.macro_step);
+        .macro_step(quiet.macro_step)
+        .engine(quiet.engine);
     for id in 0..quiet.initial_vms_per_host as u64 {
         let flavor = &quiet.flavors[id as usize % quiet.flavors.len()];
         builder = builder.add_vm(flavor.vm_config(id));

@@ -222,7 +222,8 @@ fn write_outputs(
 /// Merge this run's wall-clock numbers into `BENCH_repro.json`, keyed by
 /// job count, stepping mode, and engine, so sequential/parallel,
 /// macro/per-quantum, and exact/approx/reference timings of the same
-/// selection sit side by side.
+/// selection sit side by side. The same record (plus the key) is
+/// appended to `BENCH_history.jsonl`, the append-only benchmark log.
 fn record_bench(
     jobs: usize,
     quick: bool,
@@ -237,14 +238,15 @@ fn record_bench(
             .map(|(name, s)| (name.clone(), Json::Num(benchrec::round3(*s))))
             .collect(),
     );
-    let entry = Json::Obj(vec![
+    let regime = if quick { "quick" } else { "full" };
+    let mut fields = benchrec::stamp(regime, engine.name());
+    fields.extend([
         ("jobs".into(), Json::from(jobs)),
-        ("quick".into(), Json::from(quick)),
         ("macro_step".into(), Json::from(macro_step)),
-        ("engine".into(), Json::Str(engine.name().into())),
         ("total_wall_s".into(), Json::Num(benchrec::round3(total_s))),
         ("artifact_wall_s".into(), artifacts),
     ]);
+    let entry = Json::Obj(fields.clone());
     let mut key = if macro_step {
         format!("jobs_{jobs}")
     } else {
@@ -255,6 +257,8 @@ fn record_bench(
         key.push_str(engine.name());
     }
     benchrec::record(benchrec::BENCH_FILE, &key, entry);
+    fields.insert(0, ("bench".into(), Json::Str(key)));
+    benchrec::append_history(benchrec::HISTORY_FILE, &Json::Obj(fields));
 }
 
 fn parse_num(v: &str, flag: &str) -> u64 {

@@ -138,7 +138,10 @@ fn trace_one(
 
     println!("{}", tracetool::analysis_report(&machine));
 
-    let entry = Json::Obj(vec![
+    // Scenario files have no engine knob: the trace tool always runs the
+    // exact engine, and a scenario's own duration is its "regime".
+    let mut fields = benchrec::stamp("full", "exact");
+    fields.extend([
         ("scenario".into(), Json::Str(path.into())),
         ("duration_s".into(), Json::from(scenario.duration_s)),
         ("macro_step".into(), Json::from(scenario.macro_step)),
@@ -152,7 +155,7 @@ fn trace_one(
             Json::Num(benchrec::round3(started.elapsed().as_secs_f64())),
         ),
     ]);
-    benchrec::record(benchrec::BENCH_FILE, "trace_tool", entry);
+    benchrec::record(benchrec::BENCH_FILE, "trace_tool", Json::Obj(fields));
     Ok(())
 }
 

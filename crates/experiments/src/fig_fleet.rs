@@ -107,8 +107,8 @@ pub fn sweep_config(
 }
 
 /// Run the paper-scale sweep: [`SCHEDULERS`] × [`FULL_SIZES`]. Only
-/// `opts.seed` and `opts.macro_step` apply — fleet time is measured in
-/// epochs, not the single-machine duration/warmup window.
+/// `opts.seed`, `opts.macro_step`, and `opts.engine` apply — fleet time
+/// is measured in epochs, not the single-machine duration/warmup window.
 pub fn run(opts: &RunOptions) -> Result<Vec<FleetPoint>, SimError> {
     run_grid(&SCHEDULERS, &FULL_SIZES, opts, 12, false)
 }
@@ -131,6 +131,7 @@ pub fn run_grid(
         for &hosts in sizes {
             let mut cfg = sweep_config(scheduler, hosts, opts.seed, epochs, smoke);
             cfg.macro_step = opts.macro_step;
+            cfg.engine = opts.engine;
             let report = Fleet::new(cfg)?.run()?;
             if report.vms_lost != 0 {
                 return Err(SimError::InvalidConfig(format!(
@@ -246,6 +247,32 @@ mod tests {
         let a = to_json(&run_grid(&[FleetScheduler::Credit], &[6], &opts, 4, true).unwrap());
         let b = to_json(&run_grid(&[FleetScheduler::Credit], &[6], &opts, 4, true).unwrap());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn approx_engine_preserves_policy_rankings() {
+        // The approx engine trades exactness for speed; it must not trade
+        // away *conclusions*. Rank the schedulers by useful throughput in
+        // the quick regime under both engines and demand the same order.
+        let rankings = |engine| {
+            let opts = RunOptions {
+                engine,
+                ..RunOptions::default()
+            };
+            let mut pts = run_grid(&SCHEDULERS, &QUICK_SIZES, &opts, 4, true).unwrap();
+            pts.sort_by(|a, b| {
+                b.instr_per_host_up_s
+                    .partial_cmp(&a.instr_per_host_up_s)
+                    .unwrap()
+            });
+            pts.iter().map(|p| p.scheduler).collect::<Vec<_>>()
+        };
+        let exact = rankings(mem_model::EngineSelect::Exact);
+        let approx = rankings(mem_model::EngineSelect::Approx);
+        assert_eq!(
+            exact, approx,
+            "approx engine must rank fleet policies like exact mode"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //! five schedulers, one-run measurement); [`report`] renders results as
 //! aligned text tables and CSV. [`tracetool`] turns a traced run into the
 //! analysis report the `trace` binary prints alongside its JSONL and
-//! Chrome Trace Event (Perfetto) exports.
+//! Chrome Trace Event (Perfetto) exports. [`perfreport`] is the
+//! simulator's self-observability harness: it measures the
+//! work-avoidance machinery itself (deterministic counters, the
+//! `perf-report` binary, the `BENCH_history.jsonl` regression log).
 
 pub mod benchrec;
 pub mod explain;
@@ -40,6 +43,7 @@ pub mod fig8_period;
 pub mod fig_faults;
 pub mod fig_fleet;
 pub mod parallel;
+pub mod perfreport;
 pub mod report;
 pub mod runner;
 pub mod scenario;

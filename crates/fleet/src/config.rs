@@ -1,6 +1,7 @@
 //! Fleet configuration: host presets, VM flavors, churn/failure/admission
 //! knobs, and the scheduler choice replicated on every host.
 
+use mem_model::EngineSelect;
 use numa_topo::{presets, Topology};
 use sim_core::{SimDuration, SimError};
 use workloads::{hungry, npb, speccpu, WorkloadSpec};
@@ -260,6 +261,14 @@ pub struct FleetConfig {
     /// Event-horizon macro-stepping on every host (byte-identical either
     /// way; off only for bisection).
     pub macro_step: bool,
+    /// Memory-engine implementation on every host (default the exact
+    /// incremental engine; `Approx` trades bounded model error for speed,
+    /// `Reference` pins the frozen pre-rewrite solver).
+    pub engine: EngineSelect,
+    /// Perf introspection on every host machine (work-avoidance counters,
+    /// macro-batch histograms; see `xen_sim::perf`). Observation only —
+    /// the report and every other output stay byte-identical.
+    pub perf: bool,
     /// SLO budget for evacuation latency, in seconds: the burn-rate series
     /// in the provenance rollup reports each landed evacuation's latency
     /// as a fraction of this budget. Purely observational — never gates a
@@ -285,6 +294,8 @@ impl FleetConfig {
             host_fault_rate: 0.0,
             fault_seed: 1,
             macro_step: true,
+            engine: EngineSelect::default(),
+            perf: false,
             slo_evac_budget_s: 60.0,
         }
     }

@@ -137,6 +137,9 @@ pub struct Fleet {
     /// Mirror a host's machine trace/telemetry across rebuilds:
     /// `(host index, trace capacity)`.
     trace_host: Option<(usize, usize)>,
+    /// Up hosts stepped per epoch — the shardable width of the parallel
+    /// step, a pure function of controller state (never of `--jobs`).
+    hosts_stepped: telemetry::BatchHistogram,
     /// Decision provenance; `None` (free) unless enabled.
     prov: Option<FleetProvenance>,
     epochs_run: u64,
@@ -175,6 +178,7 @@ impl Fleet {
             registry,
             tele,
             trace_host: None,
+            hosts_stepped: telemetry::BatchHistogram::new(),
             prov: None,
             epochs_run: 0,
         };
@@ -268,12 +272,17 @@ impl Fleet {
 
     /// SLO rollup JSON: the evacuation-latency burn-rate series, per-host
     /// burn attribution, and the fleet-wide aggregation of every live
-    /// host machine's registry ([`telemetry::rollup`]). Host registries
-    /// die with their machine on crash/rebuild, so the rollup covers the
-    /// *surviving* machine generations — exactly the population still
-    /// serving at the end of the run.
-    pub fn slo_json(&self) -> Option<String> {
-        let p = self.prov.as_ref()?;
+    /// host machine's registry ([`telemetry::try_rollup`]). Host
+    /// registries die with their machine on crash/rebuild, so the rollup
+    /// covers the *surviving* machine generations — exactly the
+    /// population still serving at the end of the run. `Ok(None)` when
+    /// provenance is off; `Err` if hosts somehow registered histogram
+    /// layouts that cannot be merged (a programming error surfaced
+    /// instead of silently mis-added).
+    pub fn slo_json(&self) -> Result<Option<String>, SimError> {
+        let Some(p) = self.prov.as_ref() else {
+            return Ok(None);
+        };
         let total_burned: f64 = p.burned_s_by_host.iter().sum();
         let burn_by_epoch: Vec<Json> = p
             .burn_by_epoch
@@ -304,7 +313,10 @@ impl Fleet {
             .filter_map(|h| h.machine.as_ref())
             .filter_map(|m| m.telemetry().export())
             .collect();
-        Some(
+        let host_rollup = telemetry::try_rollup(&host_docs).map_err(|e| {
+            SimError::InvalidConfig(format!("fleet telemetry rollup: {e}"))
+        })?;
+        Ok(Some(
             Json::Obj(vec![
                 ("budget_s".into(), Json::Num(p.budget_s)),
                 ("epochs".into(), Json::from(self.epochs_run)),
@@ -320,10 +332,35 @@ impl Fleet {
                 ("burn_by_epoch".into(), Json::Arr(burn_by_epoch)),
                 ("burned_by_host".into(), Json::Arr(burned_by_host)),
                 ("hosts_reporting".into(), Json::from(host_docs.len())),
-                ("host_rollup".into(), telemetry::rollup(&host_docs)),
+                ("host_rollup".into(), host_rollup),
             ])
             .to_string_pretty(),
-        )
+        ))
+    }
+
+    /// Perf counters merged across every host (each host folds its own
+    /// retired machine generations), in host index order, so the result
+    /// is byte-deterministic at any `--jobs`. Engine counters are always
+    /// maintained; the macro-batch statistics are nonzero only when
+    /// [`crate::config::FleetConfig::perf`] enabled collection.
+    pub fn perf_snapshot(&self) -> xen_sim::PerfSnapshot {
+        let mut snap = xen_sim::PerfSnapshot::default();
+        for h in &self.hosts {
+            snap.merge(&h.perf_snapshot());
+        }
+        snap
+    }
+
+    /// Deterministic fleet perf document: the merged host snapshot plus
+    /// epoch shard-balance statistics (Up hosts stepped per epoch — the
+    /// shardable width, independent of the worker count).
+    pub fn perf_json(&self) -> Json {
+        let Json::Obj(mut fields) = self.perf_snapshot().to_json() else {
+            unreachable!("snapshot exports an object")
+        };
+        fields.push(("epochs".into(), Json::from(self.epochs_run)));
+        fields.push(("hosts_stepped".into(), self.hosts_stepped.to_json()));
+        Json::Obj(fields)
     }
 
     pub fn hosts(&self) -> &[Host] {
@@ -792,6 +829,9 @@ impl Fleet {
                 }
             }
         }
+        if !stepping.is_empty() {
+            self.hosts_stepped.observe(stepping.len() as u64);
+        }
         let stepped = parallel::parallel_map(stepping, move |(idx, mut machine)| {
             machine.run(epoch_len);
             (idx, machine)
@@ -1096,7 +1136,8 @@ mod tests {
             .policy(cfg.scheduler.policy(num_nodes, cfg.seed))
             .sample_period(cfg.epoch_len)
             .seed(cfg.seed)
-            .macro_step(cfg.macro_step);
+            .macro_step(cfg.macro_step)
+            .engine(cfg.engine);
         for id in 0..cfg.initial_vms_per_host as u64 {
             let flavor = &cfg.flavors[id as usize % cfg.flavors.len()];
             builder = builder.add_vm(flavor.vm_config(id));
@@ -1152,7 +1193,7 @@ mod tests {
         assert!(admission > 0, "arrivals must open admission spans");
         // Chrome export and SLO rollup parse and agree on the budget.
         Json::parse(&fleet.spans_chrome().unwrap()).unwrap();
-        let slo = Json::parse(&fleet.slo_json().unwrap()).unwrap();
+        let slo = Json::parse(&fleet.slo_json().unwrap().unwrap()).unwrap();
         assert_eq!(slo.get("budget_s").unwrap().as_f64(), Some(60.0));
         let burn = slo.get("burn_by_epoch").unwrap().as_array().unwrap();
         assert_eq!(burn.len(), 10, "one burn entry per epoch");
@@ -1182,12 +1223,67 @@ mod tests {
             let out = (
                 fleet.spans_jsonl().unwrap(),
                 fleet.spans_chrome().unwrap(),
-                fleet.slo_json().unwrap(),
+                fleet.slo_json().unwrap().unwrap(),
             );
             parallel::set_jobs(0);
             out
         };
         assert_eq!(run(1), run(4), "spans and rollups are jobs-invariant");
+    }
+
+    #[test]
+    fn perf_collection_is_observational_and_jobs_invariant() {
+        let plain = Fleet::new(churny_cfg()).unwrap().run().unwrap().to_json();
+        let mut cfg = churny_cfg();
+        cfg.perf = true;
+        let run = |jobs: usize| {
+            parallel::set_jobs(jobs);
+            let mut fleet = Fleet::new(cfg.clone()).unwrap();
+            let report = fleet.run().unwrap().to_json();
+            let perf = fleet.perf_json().to_string();
+            parallel::set_jobs(0);
+            (report, perf)
+        };
+        let (r1, p1) = run(1);
+        let (r4, p4) = run(4);
+        assert_eq!(r1, plain, "perf collection must not change the report");
+        assert_eq!(r1, r4, "report is jobs-invariant with perf on");
+        assert_eq!(p1, p4, "fleet perf doc must be jobs-invariant");
+        let doc = Json::parse(&p1).unwrap();
+        let steps = doc
+            .get("engine")
+            .and_then(|e| e.get("steps"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(steps > 0, "engine counters accumulated across generations");
+        assert_eq!(doc.get("epochs").and_then(Json::as_u64), Some(10));
+        let stepped = doc
+            .get("hosts_stepped")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(stepped > 0, "shard-balance stats recorded per epoch");
+    }
+
+    #[test]
+    fn engine_select_reaches_every_host() {
+        let run = |engine| {
+            let mut cfg = small_cfg(2);
+            cfg.engine = engine;
+            let mut fleet = Fleet::new(cfg).unwrap();
+            fleet.run().unwrap();
+            fleet.perf_snapshot().engine
+        };
+        // Only the approx engine consults the solve memo; exact mode
+        // short-circuits it. The counters prove the selection reached the
+        // hosts' machines.
+        let exact = run(mem_model::EngineSelect::Exact);
+        assert_eq!(exact.memo_hits + exact.memo_misses, 0);
+        let approx = run(mem_model::EngineSelect::Approx);
+        assert!(
+            approx.memo_hits + approx.memo_misses > 0,
+            "approx engine must consult the memo: {approx:?}"
+        );
     }
 
     #[test]

@@ -79,6 +79,8 @@ pub struct Host {
     pub retired_instructions: u64,
     /// Busy microseconds from torn-down generations.
     pub retired_busy_us: f64,
+    /// Perf counters folded in from torn-down generations.
+    retired_perf: xen_sim::PerfSnapshot,
     /// Epochs this host spent Up / Down.
     pub up_epochs: u64,
     pub down_epochs: u64,
@@ -103,6 +105,7 @@ impl Host {
             total_mem_bytes: topo.total_mem_bytes(),
             retired_instructions: 0,
             retired_busy_us: 0.0,
+            retired_perf: xen_sim::PerfSnapshot::default(),
             up_epochs: 0,
             down_epochs: 0,
             crashes: 0,
@@ -183,6 +186,7 @@ impl Host {
                 .map(|vm| vm.instructions)
                 .sum::<u64>();
             self.retired_busy_us += metrics.busy_us;
+            self.retired_perf.merge(&m.perf_snapshot());
         }
     }
 
@@ -224,11 +228,16 @@ impl Host {
             .sample_period(cfg.epoch_len)
             .seed(seed)
             .faults(faults)
-            .macro_step(cfg.macro_step);
+            .macro_step(cfg.macro_step)
+            .engine(cfg.engine);
         for vm in &self.vms {
             builder = builder.add_vm(vm.flavor.vm_config(vm.id));
         }
-        self.machine = Some(builder.build()?);
+        let mut machine = builder.build()?;
+        if cfg.perf {
+            machine.enable_perf();
+        }
+        self.machine = Some(machine);
         Ok(())
     }
 
@@ -251,6 +260,18 @@ impl Host {
                 .as_ref()
                 .map(|m| m.metrics().busy_us)
                 .unwrap_or(0.0)
+    }
+
+    /// Perf counters across every generation of this host, including the
+    /// live machine. Reported as one host (`hosts == 1`) regardless of
+    /// how many machine generations contributed.
+    pub fn perf_snapshot(&self) -> xen_sim::PerfSnapshot {
+        let mut snap = self.retired_perf.clone();
+        if let Some(m) = &self.machine {
+            snap.merge(&m.perf_snapshot());
+        }
+        snap.hosts = 1;
+        snap
     }
 }
 

@@ -309,6 +309,90 @@ struct HotState {
     prev_qpi: Vec<f64>,
 }
 
+/// Deterministic work-avoidance counters for the incremental engine
+/// (DESIGN §16). Every field is a pure function of the simulated
+/// execution — solver control flow, never wall-clock — so two runs of
+/// the same seed produce bitwise-equal counters at any `--jobs`. The
+/// counters are maintained unconditionally (a handful of predictable
+/// integer adds per step, far below one solve) and are only *read* when
+/// perf introspection asks; they appear in no default output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnginePerf {
+    /// Solver invocations (`step_ref` calls).
+    pub steps: u64,
+    /// Steps answered entirely from cache: unchanged inputs at a
+    /// stationary fixed point (the whole-step skip).
+    pub whole_step_skips: u64,
+    /// Per-node LLC occupancy solves actually performed.
+    pub node_solves: u64,
+    /// Populated nodes skipped in a changed step by a clean dirty bit.
+    pub node_clean_skips: u64,
+    /// [`LlcSolveCache`](crate::llc::LlcSolveCache) fingerprint hits.
+    pub memo_hits: u64,
+    /// Fingerprint misses (each followed by a full solve + insert).
+    pub memo_misses: u64,
+    /// Times a node's memo self-disabled (128-miss streak).
+    pub memo_disables: u64,
+    /// Slots whose round-0 demand was replayed from stored outputs
+    /// instead of recomputed.
+    pub replay_fires: u64,
+    /// Fixed-point rounds executed, total (divide by `steps −
+    /// whole_step_skips` for rounds per solving step).
+    pub fp_rounds: u64,
+    /// Approx-mode fixed-point exits via the tolerance test.
+    pub tolerance_exits: u64,
+    /// Multiplier entries whose sub-tolerance nudge was rolled back by
+    /// those exits (the snap-back volume).
+    pub snap_backs: u64,
+}
+
+impl EnginePerf {
+    /// Memo hit rate over consulted lookups (0 when never consulted).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of steps answered by the whole-step skip.
+    pub fn skip_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.whole_step_skips as f64 / self.steps as f64
+        }
+    }
+
+    /// Mean fixed-point rounds per step that actually solved.
+    pub fn rounds_per_solving_step(&self) -> f64 {
+        let solving = self.steps - self.whole_step_skips;
+        if solving == 0 {
+            0.0
+        } else {
+            self.fp_rounds as f64 / solving as f64
+        }
+    }
+
+    /// Add another engine's counters into this one. Summing per-host
+    /// counters in host index order is the fleet aggregation primitive.
+    pub fn accumulate(&mut self, o: EnginePerf) {
+        self.steps += o.steps;
+        self.whole_step_skips += o.whole_step_skips;
+        self.node_solves += o.node_solves;
+        self.node_clean_skips += o.node_clean_skips;
+        self.memo_hits += o.memo_hits;
+        self.memo_misses += o.memo_misses;
+        self.memo_disables += o.memo_disables;
+        self.replay_fires += o.replay_fires;
+        self.fp_rounds += o.fp_rounds;
+        self.tolerance_exits += o.tolerance_exits;
+        self.snap_backs += o.snap_backs;
+    }
+}
+
 /// The composed memory-system model for one machine.
 #[derive(Debug, Clone)]
 pub struct MemoryEngine {
@@ -343,6 +427,8 @@ pub struct MemoryEngine {
     /// the last update still moving). Gates the per-slot output replay:
     /// only then does "inputs unchanged" imply "outputs unchanged".
     out_consistent: bool,
+    /// Work-avoidance accounting (read via [`MemoryEngine::perf`]).
+    perf: EnginePerf,
 }
 
 impl MemoryEngine {
@@ -412,6 +498,7 @@ impl MemoryEngine {
             results: Vec::new(),
             stationary: false,
             out_consistent: false,
+            perf: EnginePerf::default(),
         }
     }
 
@@ -484,6 +571,15 @@ impl MemoryEngine {
         self.stationary
     }
 
+    /// Cumulative work-avoidance counters for this engine's lifetime,
+    /// folding in the per-node memo disable events. Deterministic; never
+    /// part of the engine's outputs.
+    pub fn perf(&self) -> EnginePerf {
+        let mut p = self.perf;
+        p.memo_disables = self.llc_memo.iter().map(LlcSolveCache::disable_events).sum();
+        p
+    }
+
     /// Results of the most recent solve.
     pub fn last_results(&self) -> &[VcpuQuantumResult] {
         &self.results
@@ -510,6 +606,7 @@ impl MemoryEngine {
     ) -> &[VcpuQuantumResult] {
         let quantum_us = quantum.as_micros() as f64;
         assert!(quantum_us > 0.0, "zero quantum");
+        self.perf.steps += 1;
         let n = self.num_nodes;
         let (grid, fp_tol) = match self.mode {
             EngineMode::Exact => (0.0, 0.0),
@@ -664,6 +761,7 @@ impl MemoryEngine {
         // replay the identical trajectory (the `step_batch` argument), so
         // the cached final round already is this step's answer. ---
         if !any_changed && self.stationary {
+            self.perf.whole_step_skips += 1;
             materialize_results(hot, results, n);
             return &self.results;
         }
@@ -674,6 +772,9 @@ impl MemoryEngine {
             // tuples, all verified bitwise unchanged on clean nodes. ---
             for node in 0..n {
                 if !hot.node_dirty[node] || hot.members[node].is_empty() {
+                    if !hot.node_dirty[node] && !hot.members[node].is_empty() {
+                        self.perf.node_clean_skips += 1;
+                    }
                     hot.node_dirty[node] = false;
                     continue;
                 }
@@ -695,6 +796,7 @@ impl MemoryEngine {
                         memo_fp = fingerprint_u64(memo_fp, hot.cv_ws[i]);
                     }
                     if let Some(miss) = self.llc_memo[node].lookup(memo_fp) {
+                        self.perf.memo_hits += 1;
                         for (&i, &m) in members.iter().zip(miss.iter()) {
                             let i = i as usize;
                             let q = quantize_bits(m, qmask);
@@ -705,7 +807,9 @@ impl MemoryEngine {
                         }
                         continue;
                     }
+                    self.perf.memo_misses += 1;
                 }
+                self.perf.node_solves += 1;
                 hot.demands.clear();
                 for &i in members.iter() {
                     let i = i as usize;
@@ -865,6 +969,7 @@ impl MemoryEngine {
                 let run_node = hot.node[i] as usize;
                 let row = i * n;
                 if replay && !hot.slot_changed[i] {
+                    self.perf.replay_fires += 1;
                     // Outputs stand bitwise; re-offer the demand they
                     // generate from the stored per-home counts. The counts,
                     // the byte products, and the accumulation order all
@@ -1006,12 +1111,23 @@ impl MemoryEngine {
             // at most `fp_tolerance`: once drift accumulates past it, the
             // next round-0 full jump is applied as usual.
             if fp_tol > 0.0 && max_rel < fp_tol {
+                self.perf.tolerance_exits += 1;
+                // Snap-back volume: multiplier entries whose sub-tolerance
+                // nudge the rollback below discards.
+                self.perf.snap_backs += hot
+                    .cur_imc
+                    .iter()
+                    .zip(&hot.prev_imc)
+                    .chain(hot.cur_qpi.iter().zip(&hot.prev_qpi))
+                    .filter(|(a, b)| a.to_bits() != b.to_bits())
+                    .count() as u64;
                 hot.cur_imc.copy_from_slice(&hot.prev_imc);
                 hot.cur_qpi.copy_from_slice(&hot.prev_qpi);
                 consistent_exit = true;
                 break;
             }
         }
+        self.perf.fp_rounds += round as u64;
         self.stationary = hot.cur_imc == self.imc_mult && hot.cur_qpi == self.qpi_mult;
         self.out_consistent = consistent_exit;
         // Every changed slot has been recomputed by the final round (or the

@@ -32,7 +32,8 @@ pub mod select;
 
 pub use curve::MissCurve;
 pub use engine::{
-    AccessProfile, ApproxParams, EngineMode, MemoryEngine, QuantumUsage, VcpuQuantumResult,
+    AccessProfile, ApproxParams, EngineMode, EnginePerf, MemoryEngine, QuantumUsage,
+    VcpuQuantumResult,
 };
 pub use imc::ImcModel;
 pub use latency::LatencyParams;

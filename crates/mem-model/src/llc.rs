@@ -74,6 +74,14 @@ pub struct LlcSolveCache {
     miss_streak: u32,
     /// Calls skipped since the memo disabled itself (for re-probing).
     skip_tick: u32,
+    /// Perf introspection: times the miss streak crossed
+    /// [`LLC_CACHE_OFF`] (including a failed re-probe falling straight
+    /// back). Never read by the solve itself; survives [`clear`] so a
+    /// whole run's history stays visible (`clear` resets the *cache*,
+    /// not the run's accounting).
+    ///
+    /// [`clear`]: LlcSolveCache::clear
+    disable_events: u64,
 }
 
 /// Entries per node: enough for a few co-runner intensity grid points
@@ -103,6 +111,7 @@ impl Default for LlcSolveCache {
             next: 0,
             miss_streak: 0,
             skip_tick: 0,
+            disable_events: 0,
         }
     }
 }
@@ -134,9 +143,17 @@ impl LlcSolveCache {
             }
             None => {
                 self.miss_streak = self.miss_streak.saturating_add(1);
+                if self.miss_streak == LLC_CACHE_OFF {
+                    self.disable_events += 1;
+                }
                 None
             }
         }
+    }
+
+    /// How many times the memo self-disabled (see `disable_events`).
+    pub fn disable_events(&self) -> u64 {
+        self.disable_events
     }
 
     /// Insert a solve result, evicting round-robin once full. Copies into

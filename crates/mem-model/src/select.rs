@@ -16,7 +16,8 @@
 //! single predictable branch per call, negligible next to a solve.
 
 use crate::engine::{
-    ApproxParams, ContentionSnapshot, EngineMode, MemoryEngine, QuantumUsage, VcpuQuantumResult,
+    ApproxParams, ContentionSnapshot, EngineMode, EnginePerf, MemoryEngine, QuantumUsage,
+    VcpuQuantumResult,
 };
 use crate::reference::ReferenceEngine;
 use numa_topo::Topology;
@@ -104,6 +105,16 @@ impl AnyEngine {
         match self {
             AnyEngine::Soa(e) => e.step_batch(quantum, usages, max_quanta),
             AnyEngine::Reference(e) => e.step_batch(quantum, usages, max_quanta),
+        }
+    }
+
+    /// Work-avoidance counters (see [`MemoryEngine::perf`]). The frozen
+    /// reference engine predates the avoidance machinery and reports
+    /// all-zero counters.
+    pub fn perf(&self) -> EnginePerf {
+        match self {
+            AnyEngine::Soa(e) => e.perf(),
+            AnyEngine::Reference(_) => EnginePerf::default(),
         }
     }
 

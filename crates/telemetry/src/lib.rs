@@ -18,18 +18,24 @@
 //!   and annotations, used by the fleet layer for admission/evacuation
 //!   lifecycles;
 //! * [`rollup`] — per-host → fleet aggregation of registry export
-//!   documents.
+//!   documents;
+//! * [`perf`] — work-avoidance introspection: deterministic counter
+//!   sets, batch-length histograms and digests, plus explicitly
+//!   non-deterministic wall-clock phase timers that only ever feed
+//!   best-effort bench records.
 //!
 //! This crate deliberately knows nothing about VCPUs or NUMA: the machine
 //! layer decides *what* to record; this layer guarantees the recording is
 //! deterministic, cheap when disabled, and stable on disk.
 
 pub mod chrome;
+pub mod perf;
 pub mod registry;
 pub mod rollup;
 pub mod span;
 
 pub use chrome::ChromeTrace;
+pub use perf::{digest64, BatchHistogram, CounterSet, PhaseTimers};
 pub use registry::{CounterId, GaugeId, HistogramId, Registry};
-pub use rollup::rollup;
+pub use rollup::{rollup, try_rollup};
 pub use span::{Span, SpanLog};

@@ -6,7 +6,9 @@
 //! disk, or hosts whose registries have since been rebuilt. Aggregation is
 //! by metric name: counter totals and gauge values sum, histograms sum
 //! bucket-wise (shapes must match — same `lo`/`hi`/bucket count — or the
-//! histogram is skipped). Per-period series are intentionally dropped:
+//! rollup errors: same-named histograms with different layouts indicate
+//! divergent registrations, and bucket-wise addition across them would
+//! silently produce garbage). Per-period series are intentionally dropped:
 //! hosts snapshot on their own clocks, so pointwise sums are not
 //! meaningful across them; the burn-rate series the fleet layer builds is
 //! the cross-host time axis.
@@ -52,6 +54,17 @@ fn sum_scalars(docs: &[Json], section: &str, key: &str) -> Vec<(String, f64, u64
     out
 }
 
+/// Aggregate per-host registry exports, panicking on a histogram shape
+/// mismatch. Prefer [`try_rollup`] where an error can be propagated; a
+/// mismatch means two hosts registered the same histogram name with
+/// different layouts, which is a programming error, never data.
+pub fn rollup(docs: &[Json]) -> Json {
+    match try_rollup(docs) {
+        Ok(doc) => doc,
+        Err(e) => panic!("telemetry rollup failed: {e}"),
+    }
+}
+
 /// Aggregate per-host registry exports (the JSON produced by
 /// [`crate::Registry::export`]) into one fleet-level document:
 ///
@@ -62,7 +75,10 @@ fn sum_scalars(docs: &[Json], section: &str, key: &str) -> Vec<(String, f64, u64
 ///  "histograms":[{"name":..,"lo":..,"hi":..,"buckets":[..],
 ///                 "underflow":..,"overflow":..,"count":..},..]}
 /// ```
-pub fn rollup(docs: &[Json]) -> Json {
+///
+/// Errors when same-named histograms disagree on `lo`/`hi`/bucket count
+/// across documents (see the module docs).
+pub fn try_rollup(docs: &[Json]) -> Result<Json, String> {
     let counters = sum_scalars(docs, "counters", "total")
         .into_iter()
         .map(|(name, total, _)| {
@@ -83,7 +99,7 @@ pub fn rollup(docs: &[Json]) -> Json {
         .collect();
 
     // Histograms: bucket-wise sums, keyed by name; mismatched shapes are
-    // dropped rather than silently mis-added.
+    // an error rather than a silent mis-add.
     struct HistAcc {
         name: String,
         lo: f64,
@@ -92,7 +108,6 @@ pub fn rollup(docs: &[Json]) -> Json {
         under: f64,
         over: f64,
         count: f64,
-        poisoned: bool,
     }
     let mut hists: Vec<HistAcc> = Vec::new();
     for doc in docs {
@@ -117,7 +132,14 @@ pub fn rollup(docs: &[Json]) -> Json {
                         h.over += over;
                         h.count += count;
                     } else {
-                        h.poisoned = true; // shape mismatch: poison this name
+                        return Err(format!(
+                            "histogram '{name}' bucket layout mismatch across hosts: \
+                             [{},{}]x{} vs [{lo},{hi}]x{}",
+                            h.lo,
+                            h.hi,
+                            h.buckets.len(),
+                            buckets.len()
+                        ));
                     }
                 }
                 None => hists.push(HistAcc {
@@ -128,14 +150,12 @@ pub fn rollup(docs: &[Json]) -> Json {
                     under,
                     over,
                     count,
-                    poisoned: false,
                 }),
             }
         }
     }
     let histograms = hists
         .into_iter()
-        .filter(|h| !h.poisoned)
         .map(|h| {
             Json::Obj(vec![
                 ("name".into(), Json::from(h.name.as_str())),
@@ -152,12 +172,12 @@ pub fn rollup(docs: &[Json]) -> Json {
         })
         .collect();
 
-    Json::Obj(vec![
+    Ok(Json::Obj(vec![
         ("hosts".into(), Json::from(docs.len())),
         ("counters".into(), Json::Arr(counters)),
         ("gauges".into(), Json::Arr(gauges)),
         ("histograms".into(), Json::Arr(histograms)),
-    ])
+    ]))
 }
 
 #[cfg(test)]
@@ -216,5 +236,73 @@ mod tests {
     fn rollup_is_deterministic() {
         let docs = vec![export_of(&[(1, 2.0)]), export_of(&[(2, 3.0)])];
         assert_eq!(rollup(&docs).to_string(), rollup(&docs).to_string());
+    }
+
+    /// A registry with no metrics registered still exports a document;
+    /// rolling it up must yield empty sections, not a malformed doc.
+    #[test]
+    fn empty_registry_export_rolls_up_cleanly() {
+        let mut r = Registry::new();
+        r.set_enabled(true);
+        r.snapshot(SimTime::from_micros(1));
+        let doc = r.export().expect("enabled registry exports");
+        let roll = try_rollup(&[doc]).unwrap();
+        assert_eq!(roll.get("hosts").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            roll.get("counters").and_then(Json::as_array).map(<[Json]>::len),
+            Some(0)
+        );
+        assert_eq!(
+            roll.get("histograms")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+    }
+
+    /// The single-host fleet degenerate case: the rollup's sums must
+    /// equal that host's own export values exactly.
+    #[test]
+    fn single_host_rollup_preserves_values() {
+        let doc = export_of(&[(5, 1.0), (2, 9.5)]);
+        let roll = try_rollup(std::slice::from_ref(&doc)).unwrap();
+        assert_eq!(roll.get("hosts").and_then(Json::as_u64), Some(1));
+        let counters = roll.get("counters").and_then(Json::as_array).unwrap();
+        assert_eq!(counters[0].get("total").and_then(Json::as_u64), Some(7));
+        let hists = roll.get("histograms").and_then(Json::as_array).unwrap();
+        assert_eq!(hists[0].get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(hists[0].get("lo").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(hists[0].get("hi").and_then(Json::as_f64), Some(10.0));
+    }
+
+    fn mismatched_docs() -> Vec<Json> {
+        let mut a = Registry::new();
+        a.set_enabled(true);
+        let h = a.histogram("lat", 0.0, 10.0, 5);
+        a.observe(h, 1.0);
+        a.snapshot(SimTime::from_micros(1));
+
+        let mut b = Registry::new();
+        b.set_enabled(true);
+        let h = b.histogram("lat", 0.0, 20.0, 8);
+        b.observe(h, 1.0);
+        b.snapshot(SimTime::from_micros(1));
+
+        vec![a.export().unwrap(), b.export().unwrap()]
+    }
+
+    /// Same-named histograms with different bucket layouts are a
+    /// registration bug; the rollup must refuse, not silently merge.
+    #[test]
+    fn mismatched_histogram_layouts_error() {
+        let err = try_rollup(&mismatched_docs()).unwrap_err();
+        assert!(err.contains("lat"), "error names the histogram: {err}");
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket layout mismatch")]
+    fn rollup_panics_on_mismatched_layouts() {
+        let _ = rollup(&mismatched_docs());
     }
 }

@@ -23,6 +23,7 @@ pub mod export;
 pub mod machine;
 pub mod metrics;
 pub mod pcpu;
+pub mod perf;
 pub mod policy;
 pub mod provenance;
 pub mod runqueue;
@@ -38,6 +39,7 @@ pub use policy::{
     SchedPolicy, StealContext, VcpuAssignment, VcpuView,
 };
 pub use export::{to_chrome, to_jsonl, ChromeContext};
+pub use perf::{HorizonEvent, MachinePerf, PerfSnapshot};
 pub use provenance::{Decision, DecisionRecord, ProvenanceLog, StealCandidate};
 pub use sim_core::{FaultConfig, FaultInjector};
 pub use trace::{Event, FaultEvent, TraceLog};

@@ -296,6 +296,10 @@ pub struct Machine {
     /// rule behind every placement/steal/partition/degrade decision.
     /// Disabled by default (one branch per site).
     provenance: crate::provenance::ProvenanceLog,
+    /// Macro-stepping perf statistics (batch histogram, horizon-close
+    /// reasons). `None` (the default) costs one null-check per quantum
+    /// and leaves every output byte unchanged; see [`crate::perf`].
+    perf: Option<Box<crate::perf::MachinePerf>>,
 }
 
 /// Handles to the machine's registered telemetry metrics. The macro-batch
@@ -439,6 +443,7 @@ impl Machine {
             tids,
             was_fallback: false,
             provenance: crate::provenance::ProvenanceLog::disabled(),
+            perf: None,
             engine: AnyEngine::new(&topo, cfg.engine),
             sampler: PeriodSampler::new(num_vcpus, num_nodes, cfg.sample_period),
             overhead: OverheadTracker::new(cfg.overhead),
@@ -589,6 +594,34 @@ impl Machine {
         crate::provenance::to_jsonl(&self.provenance)
     }
 
+    /// Enable perf introspection: macro-step batch statistics plus the
+    /// engine's work-avoidance counters, exported into
+    /// [`RunMetrics::perf`] at the end of [`Machine::run`]. Collection is
+    /// observational only — enabling it changes no scheduling decision
+    /// and no other output byte.
+    pub fn enable_perf(&mut self) {
+        if self.perf.is_none() {
+            self.perf = Some(Box::default());
+        }
+    }
+
+    /// Whether [`Machine::enable_perf`] was called.
+    pub fn perf_enabled(&self) -> bool {
+        self.perf.is_some()
+    }
+
+    /// Deterministic perf snapshot for this machine: the engine's
+    /// work-avoidance counters (always maintained) plus the macro-step
+    /// statistics gathered since [`Machine::enable_perf`] (zeroed stats
+    /// if perf was never enabled).
+    pub fn perf_snapshot(&self) -> crate::perf::PerfSnapshot {
+        crate::perf::PerfSnapshot {
+            hosts: 1,
+            engine: self.engine.perf(),
+            machine: self.perf.as_deref().cloned().unwrap_or_default(),
+        }
+    }
+
     /// Replace the scheduling policy at runtime (used by experiments that
     /// warm the system up under the stock Credit scheduler before
     /// switching to the policy under test, as one would on a live host).
@@ -645,6 +678,9 @@ impl Machine {
         self.metrics.overhead_us = self.overhead.overhead_us();
         self.metrics.busy_us = self.overhead.busy_us();
         self.metrics.telemetry = self.telemetry.export();
+        if self.perf.is_some() {
+            self.metrics.perf = Some(self.perf_snapshot().to_json());
+        }
         &self.metrics
     }
 
@@ -669,8 +705,15 @@ impl Machine {
         self.schedule_all();
 
         let batch = if self.macro_candidate && max_quanta > 1 {
-            self.macro_horizon(now, max_quanta)
+            let (batch, why) = self.macro_horizon(now, max_quanta);
+            if let Some(p) = self.perf.as_deref_mut() {
+                p.consult(batch, why);
+            }
+            batch
         } else {
+            if let Some(p) = self.perf.as_deref_mut() {
+                p.plain_step();
+            }
             1
         };
         self.execute_quanta(now, batch);
@@ -729,17 +772,23 @@ impl Machine {
     /// draws every quantum (and transient stalls / delayed migrations can
     /// land anywhere); batching would desynchronize the fault streams that
     /// PR 2 pinned byte-identical.
-    fn macro_horizon(&self, now: SimTime, max_quanta: u64) -> u64 {
+    ///
+    /// Also returns which event closed the horizon (bounds the batch);
+    /// ties go to the earlier bound in scan order, so the attribution is
+    /// deterministic. The reason feeds perf introspection only — the
+    /// returned length is what it always was.
+    fn macro_horizon(&self, now: SimTime, max_quanta: u64) -> (u64, crate::perf::HorizonEvent) {
+        use crate::perf::HorizonEvent as Ev;
         if self.faults_enabled || self.cfg.intensity_noise_sd > 0.0 {
-            return 1;
+            return (1, Ev::NonQuiescent);
         }
         for p in &self.pcpus {
             if !p.is_quiescent() {
-                return 1;
+                return (1, Ev::NonQuiescent);
             }
             let v = &self.vcpus[p.current.expect("quiescent implies current").index()];
             if v.kind != VcpuKind::Worker || v.cold_quanta > 0 || !v.allowed_on(p.node) {
-                return 1;
+                return (1, Ev::NonQuiescent);
             }
         }
 
@@ -759,36 +808,42 @@ impl Machine {
             || window != slots * q
             || now_us < window
         {
-            return 1;
+            return (1, Ev::NonQuiescent);
         }
 
         let mut n = max_quanta;
+        let mut why = Ev::MaxQuanta;
+        // Apply a candidate bound: the first event to reach a given
+        // minimum keeps the attribution (strict `<`).
+        fn bound(n: &mut u64, why: &mut Ev, k: u64, ev: Ev) {
+            if k < *n {
+                *n = k;
+                *why = ev;
+            }
+        }
         // An event at absolute time `e` that is processed before its
         // quantum executes allows batching only the quanta strictly
         // before it.
-        let bound_pre = |n: &mut u64, event_us: u64| {
-            let d = event_us.saturating_sub(now_us);
-            *n = (*n).min(d.div_ceil(q).max(1));
-        };
+        let pre_quanta = |event_us: u64| event_us.saturating_sub(now_us).div_ceil(q).max(1);
 
         for p in &self.pcpus {
             let v = &self.vcpus[p.current.expect("checked above").index()];
             // Quantum k of the batch keeps the PCPU only while the slice
             // lasts: k ≤ timeslice_left + 1.
-            n = n.min(v.timeslice_left as u64 + 1);
+            bound(&mut n, &mut why, v.timeslice_left as u64 + 1, Ev::Timeslice);
             let thread = self.vms[v.vm.index()].thread_for_slot(v.vm_idx);
             if let Some(change) = thread.workload.next_phase_change(now) {
-                bound_pre(&mut n, change.as_micros());
+                bound(&mut n, &mut why, pre_quanta(change.as_micros()), Ev::PhaseChange);
             }
         }
 
         if let Some(&Reverse((t, _))) = self.idler_wakes.peek() {
-            bound_pre(&mut n, t.as_micros());
+            bound(&mut n, &mut why, pre_quanta(t.as_micros()), Ev::IdlerWake);
         }
 
         for &(next, stride) in &self.shuffle_next {
             if stride != 0 {
-                bound_pre(&mut n, next);
+                bound(&mut n, &mut why, pre_quanta(next), Ev::Shuffle);
             }
         }
 
@@ -801,7 +856,7 @@ impl Machine {
             let base = now_us / q;
             for k in 1..=ticks_per {
                 if ((base + k) % ticks_per) < self.pcpus.len() as u64 {
-                    n = n.min(k);
+                    bound(&mut n, &mut why, k, Ev::CreditTick);
                     break;
                 }
             }
@@ -818,16 +873,16 @@ impl Machine {
                 let r = i as u64 % slots;
                 let k = (r + slots - base_slot) % slots;
                 let k = if k == 0 { slots } else { k };
-                n = n.min(k);
+                bound(&mut n, &mut why, k, Ev::Accounting);
             }
         }
 
         // Sampling fires after its quantum executes, so a boundary on the
         // batch's final quantum is allowed.
         let d = self.sampler.next_boundary().as_micros().saturating_sub(now_us);
-        n = n.min(d.div_ceil(q) + 1);
+        bound(&mut n, &mut why, d.div_ceil(q) + 1, Ev::Sampler);
 
-        n.max(1)
+        (n.max(1), why)
     }
 
     /// Per-quantum fault bookkeeping (only called with faults enabled):

@@ -221,6 +221,11 @@ pub struct RunMetrics {
     /// called, in which case the block is omitted from the JSON so
     /// telemetry-off runs stay byte-identical to pre-telemetry builds.
     pub telemetry: Option<Json>,
+    /// Perf-introspection snapshot (work-avoidance counters, macro-batch
+    /// histogram, horizon-close reasons); `None` unless
+    /// `Machine::enable_perf` was called, in which case the block is
+    /// omitted so perf-off runs stay byte-identical.
+    pub perf: Option<Json>,
 }
 
 impl RunMetrics {
@@ -333,6 +338,10 @@ impl RunMetrics {
         if let Some(t) = &self.telemetry {
             fields.push(("telemetry".into(), t.clone()));
         }
+        // And the perf block only when introspection was enabled.
+        if let Some(p) = &self.perf {
+            fields.push(("perf".into(), p.clone()));
+        }
         doc.to_string()
     }
 
@@ -408,6 +417,7 @@ impl RunMetrics {
                 None => FaultMetrics::default(),
             },
             telemetry: doc.get("telemetry").cloned(),
+            perf: doc.get("perf").cloned(),
         })
     }
 }

@@ -1,0 +1,116 @@
+//! Perf-introspection contracts at the `Machine` level.
+//!
+//! Three pins: (1) enabling perf changes no other output byte — the
+//! RunMetrics JSON of a perf-on run is the perf-off JSON plus the
+//! appended `perf` block; (2) the snapshot is deterministic — same seed,
+//! byte-identical perf JSON; (3) the counters actually measure the
+//! work-avoidance machinery — a quiescent macro-run shows multi-quantum
+//! batches with attributed horizon closes, a noisy run shows the engine
+//! solving (and skipping) per quantum.
+
+use mem_model::AllocPolicy;
+use numa_topo::presets;
+use sim_core::SimDuration;
+use workloads::hungry;
+use xen_sim::{CreditPolicy, Machine, MachineBuilder, MachineConfig, VmConfig};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+fn build(seed: u64, noise_sd: f64) -> Machine {
+    let cfg = MachineConfig {
+        seed,
+        intensity_noise_sd: noise_sd,
+        ..MachineConfig::default()
+    };
+    MachineBuilder::new(presets::xeon_e5620())
+        .config(cfg)
+        .policy(Box::new(CreditPolicy::new()))
+        .add_vm(VmConfig::new(
+            "vm0",
+            8,
+            2 * GB,
+            AllocPolicy::MostFree,
+            vec![hungry::hungry_loop(); 8],
+        ))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn enabling_perf_changes_no_other_output_byte() {
+    let mut plain = build(42, 0.18);
+    let mut probed = build(42, 0.18);
+    probed.enable_perf();
+    plain.run(SimDuration::from_secs(2));
+    probed.run(SimDuration::from_secs(2));
+
+    let off = plain.metrics().to_json();
+    let on = probed.metrics().to_json();
+    assert!(!off.contains("\"perf\""), "perf block absent when disabled");
+    assert!(on.contains("\"perf\""), "perf block present when enabled");
+    // The perf block is appended last: everything before it is identical.
+    let prefix = &off[..off.len() - 1]; // strip the closing brace
+    assert!(
+        on.starts_with(prefix),
+        "perf-on JSON must extend the perf-off JSON byte-for-byte"
+    );
+    assert_eq!(&on[prefix.len()..prefix.len() + 8], ",\"perf\":");
+}
+
+#[test]
+fn perf_snapshot_is_deterministic() {
+    let run = || {
+        let mut m = build(7, 0.18);
+        m.enable_perf();
+        m.run(SimDuration::from_secs(2));
+        m.perf_snapshot().to_json().to_string()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn quiescent_macro_run_attributes_batches() {
+    let mut m = build(42, 0.0);
+    m.enable_perf();
+    m.run(SimDuration::from_secs(2));
+    assert!(m.macro_batches() > 0, "macro-stepper must engage");
+    let snap = m.perf_snapshot();
+    assert!(snap.machine.horizon_consults > 0, "horizon consulted");
+    assert!(
+        snap.machine.batches.mean() > 1.0,
+        "batches extend past one quantum: mean {}",
+        snap.machine.batches.mean()
+    );
+    let close = snap.horizon_close_named();
+    assert!(!close.is_empty(), "closes attributed: {close:?}");
+    let attributed: u64 = close.iter().map(|&(_, n)| n).sum();
+    assert_eq!(
+        attributed, snap.machine.horizon_consults,
+        "every consult has exactly one close reason"
+    );
+    // The engine sees one step per batch, so whole-step skips dominate a
+    // quiescent run (nothing changes between solves).
+    assert!(snap.engine.steps > 0);
+    assert!(
+        snap.engine.whole_step_skips > 0,
+        "quiescent run skips whole steps: {:?}",
+        snap.engine
+    );
+}
+
+#[test]
+fn noisy_run_counts_solving_work() {
+    let mut m = build(42, 0.18);
+    m.enable_perf();
+    m.run(SimDuration::from_secs(2));
+    let snap = m.perf_snapshot();
+    // Noise dirties inputs every quantum: no macro batching, real solves.
+    assert_eq!(snap.machine.horizon_consults, 0, "noise defeats macro path");
+    assert_eq!(snap.machine.batches.mean(), 1.0);
+    assert!(snap.engine.steps > 0);
+    assert!(snap.engine.node_solves > 0, "{:?}", snap.engine);
+    assert!(snap.engine.fp_rounds > 0, "{:?}", snap.engine);
+    // Exact mode never consults the memo.
+    assert_eq!(snap.engine.memo_hits, 0);
+    assert_eq!(snap.engine.memo_misses, 0);
+}
